@@ -1,0 +1,34 @@
+//! Criterion bench for **Figure 1** regeneration: per-operation speedup
+//! curves. The companion binary `fig1_speedup` prints the actual figure;
+//! this bench tracks the cost of the speedup model itself (it sits on the
+//! scheduler's hot path via finish-time estimation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgprs_workload::fig1;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1/generate_all_curves", |b| {
+        b.iter(|| black_box(fig1::generate()))
+    });
+
+    let model = sgprs_gpu_sim::SpeedupModel::calibrated_rtx_2080_ti();
+    c.bench_function("fig1/speedup_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for m in 1..=68 {
+                acc += model.speedup(sgprs_gpu_sim::OpClass::Convolution, f64::from(m));
+            }
+            black_box(acc)
+        })
+    });
+
+    let net = sgprs_dnn::models::resnet18(1, 224);
+    let profile = net.work_profile(&sgprs_dnn::CostModel::calibrated());
+    c.bench_function("fig1/resnet18_effective_speedup", |b| {
+        b.iter(|| black_box(profile.effective_speedup(&model, black_box(34.0))))
+    });
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

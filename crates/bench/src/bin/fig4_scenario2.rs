@@ -1,0 +1,17 @@
+//! Regenerates **Figure 4**: total FPS (4a) and deadline miss rate (4b)
+//! for Scenario 2 (`np = 3` contexts), sweeping 1..=30 identical
+//! ResNet18@30fps tasks over the naive baseline and SGPRS at
+//! over-subscription 1.0 / 1.5 / 2.0.
+//!
+//! Usage: `cargo run --release -p sgprs-bench --bin fig4_scenario2 [--sim-secs N] [--csv]`
+
+use sgprs_bench::{paper_task_counts, parse_args, print_sweep};
+use sgprs_workload::{scenario2_variants, sweep};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (sim_secs, csv) = parse_args(&args);
+    let variants = scenario2_variants(sim_secs);
+    let series = sweep::run_sweeps(&variants, &paper_task_counts());
+    print_sweep(&series, csv, "Figure 4");
+}

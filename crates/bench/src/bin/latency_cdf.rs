@@ -1,0 +1,22 @@
+//! **Response-time experiment** (beyond the paper's FPS/DMR metrics):
+//! median / p95 / worst-case responses and on-time fractions for every
+//! scheduler variant, below and above the pivot point.
+//!
+//! Usage: `cargo run --release -p sgprs-bench --bin latency_cdf [--sim-secs N]`
+
+use sgprs_workload::latency;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (sim_secs, _) = sgprs_bench::parse_args(&args);
+    for (contexts, tasks, note) in [
+        (3usize, 18usize, "below the pivot"),
+        (3, 26, "just past the pivot"),
+        (3, 30, "heavy overload"),
+    ] {
+        println!("== np={contexts}, {tasks} tasks ({note}) ==");
+        let summaries = latency::compare_at(contexts, tasks, sim_secs);
+        print!("{}", latency::render(&summaries));
+        println!();
+    }
+}

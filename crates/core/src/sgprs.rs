@@ -1,0 +1,620 @@
+//! The SGPRS online phase (§IV-B).
+//!
+//! At run time the scheduler:
+//!
+//! 1. **Releases jobs** every period and stamps every stage with an
+//!    absolute deadline derived from its offline virtual relative deadline
+//!    (§IV-B1).
+//! 2. **Assigns contexts** to released (ready) stages by the paper's
+//!    three-rule policy (§IV-B2): *empty queues first, then the context
+//!    meeting the deadline with the shortest queue, and if none, the one
+//!    with the earliest finish time.*
+//! 3. **Queues stages** per context in three priority bands served
+//!    high → medium → low, EDF inside each band, dispatching onto the
+//!    context's 2 high- + 2 low-priority streams (max four concurrent
+//!    stages per context); a low-priority stage whose predecessor missed
+//!    its virtual deadline is promoted to medium (§IV-B3).
+//!
+//! Partition switches are *seamless*: dispatching any task's stage to any
+//! context carries no reconfiguration cost — the paper's headline property
+//! (compare [`crate::NaiveScheduler`], which pays for every tenant
+//! switch).
+
+use crate::{Admission, CompiledTask, MetricsCollector, QueueOrder, RunMetrics, SgprsConfig};
+use sgprs_gpu_sim::{
+    ContextConfig, ContextId, DeviceEvent, GpuEngine, KernelDesc, KernelHandle, StreamClass,
+};
+use sgprs_rt::{Job, PriorityBands, PriorityLevel, ReleaseGenerator, SimTime, TaskId};
+use std::collections::HashMap;
+
+/// Identifies one stage instance of one released job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StageRef {
+    task: usize,
+    release_index: u64,
+    stage: usize,
+}
+
+/// Which band(s) a dispatch pop may take from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PopBand {
+    /// Only the high band (feeds high-priority streams).
+    ExactHigh,
+    /// Medium then low (feeds low-priority streams).
+    AtMostMedium,
+}
+
+/// The SGPRS online scheduler. See the module documentation for the algorithm details.
+#[derive(Debug)]
+pub struct SgprsScheduler {
+    config: SgprsConfig,
+    engine: GpuEngine,
+    tasks: Vec<CompiledTask>,
+    gens: Vec<ReleaseGenerator>,
+    /// Released, not-yet-finished jobs keyed by (task, release index).
+    active: HashMap<(usize, u64), Job>,
+    /// Jobs in flight per task (admission control).
+    outstanding: Vec<u64>,
+    /// Frame buffer per task: the release boundary of the freshest frame
+    /// waiting while a job is in flight ([`Admission::FrameBuffer`]).
+    buffered: Vec<Option<SimTime>>,
+    /// Per-task monotone admission counter (job ids stay unique even when
+    /// grabbed frames are admitted off the period grid).
+    admit_seq: Vec<u64>,
+    /// Exponential moving average of observed job response times (ns),
+    /// driving admission control.
+    response_ema_ns: f64,
+    /// Completions observed so far (EMA warm-up gate).
+    completions_seen: u64,
+    /// Per-context three-band EDF ready queues.
+    queues: Vec<PriorityBands<StageRef>>,
+    /// Kernels in flight: handle → (stage, isolated-duration estimate).
+    running: HashMap<KernelHandle, (StageRef, f64)>,
+    /// Outstanding-work estimate per context in nanoseconds (queued +
+    /// running stages at their isolated estimates).
+    pending_ns: Vec<f64>,
+    collector: MetricsCollector,
+    sm_allocs: Vec<u32>,
+    /// Monotone counter providing FIFO pseudo-deadlines for the ablation
+    /// queue order.
+    fifo_seq: u64,
+    /// Total stream slots across the pool (the device's job-level
+    /// concurrency; admission never declines below this depth).
+    slot_count: usize,
+}
+
+impl SgprsScheduler {
+    /// Creates a scheduler for `tasks` over the configured context pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or any task has no stages.
+    #[must_use]
+    pub fn new(config: SgprsConfig, tasks: Vec<CompiledTask>) -> Self {
+        assert!(!tasks.is_empty(), "need at least one task");
+        assert!(
+            tasks.iter().all(|t| t.stage_count() > 0),
+            "SGPRS schedules staged tasks; use the offline phase to compile them"
+        );
+        let sm_allocs = config.pool.sm_allocations();
+        let mut builder = GpuEngine::builder(config.pool.gpu.clone())
+            .contention_model(config.contention)
+            .seed(config.seed)
+            .tracing(config.tracing);
+        for &sm in &sm_allocs {
+            builder = builder.context(ContextConfig::new(sm));
+        }
+        let engine = builder.build();
+        let gens = tasks
+            .iter()
+            .map(|t| ReleaseGenerator::new(SimTime::ZERO + t.spec.phase, t.spec.period))
+            .collect();
+        let names = tasks.iter().map(|t| t.spec.name.clone()).collect();
+        let collector = MetricsCollector::new(names, SimTime::ZERO + config.warmup);
+        let n_ctx = sm_allocs.len();
+        let n_tasks = tasks.len();
+        SgprsScheduler {
+            config,
+            engine,
+            tasks,
+            gens,
+            active: HashMap::new(),
+            outstanding: vec![0; n_tasks],
+            buffered: vec![None; n_tasks],
+            admit_seq: vec![0; n_tasks],
+            response_ema_ns: 0.0,
+            completions_seen: 0,
+            queues: (0..n_ctx).map(|_| PriorityBands::new()).collect(),
+            running: HashMap::new(),
+            pending_ns: vec![0.0; n_ctx],
+            collector,
+            sm_allocs,
+            fifo_seq: 0,
+            slot_count: n_ctx * ContextConfig::new(1).total_streams(),
+        }
+    }
+
+    /// The underlying device engine (for traces and occupancy stats).
+    #[must_use]
+    pub fn engine(&self) -> &GpuEngine {
+        &self.engine
+    }
+
+    /// Runs the simulation until `end` and returns the metrics over the
+    /// measurement window (`warmup..end`).
+    pub fn run(&mut self, end: SimTime) -> RunMetrics {
+        loop {
+            let next_release = self
+                .gens
+                .iter()
+                .map(ReleaseGenerator::next_release)
+                .min()
+                .expect("at least one task");
+            let next_device = self.engine.next_event_time();
+            let next = match next_device {
+                Some(d) if d < next_release => d,
+                _ => next_release,
+            };
+            if next > end {
+                break;
+            }
+            let events = self.engine.advance_to(next);
+            self.handle_events(&events);
+            if next_release == next {
+                self.do_releases(next);
+            }
+            self.dispatch();
+        }
+        let events = self.engine.advance_to(end);
+        self.handle_events(&events);
+        let names = self.tasks.iter().map(|t| t.spec.name.clone()).collect();
+        let fresh = MetricsCollector::new(names, SimTime::ZERO + self.config.warmup);
+        std::mem::replace(&mut self.collector, fresh).finish(end)
+    }
+
+    /// Releases every job due at `now` (§IV-B1: absolute stage deadlines
+    /// are stamped at release).
+    fn do_releases(&mut self, now: SimTime) {
+        for task_idx in 0..self.tasks.len() {
+            while self.gens[task_idx].next_release() <= now {
+                let release = self.gens[task_idx].next_release();
+                self.gens[task_idx].advance();
+                self.collector.record_release(task_idx, release);
+                let busy = self.outstanding[task_idx] > 0;
+                if busy {
+                    match self.config.admission {
+                        Admission::SkipIfBusy => {
+                            self.collector.record_skip(task_idx, release);
+                            continue;
+                        }
+                        Admission::FrameBuffer => {
+                            // Newest frame wins: replacing a staler
+                            // buffered frame drops it (a miss).
+                            if let Some(stale) = self.buffered[task_idx].replace(release)
+                            {
+                                self.collector.record_skip(task_idx, stale);
+                            }
+                            continue;
+                        }
+                        Admission::QueueAll => {}
+                    }
+                }
+                if !self.admission_ok(task_idx, release) {
+                    // Declined up front: the frame is dropped before any
+                    // GPU time is spent on it.
+                    self.collector.record_skip(task_idx, release);
+                    continue;
+                }
+                let index = self.next_admit_index(task_idx);
+                self.admit(task_idx, index, release);
+            }
+        }
+    }
+
+    /// EMA smoothing factor for the response-time estimate.
+    const RESPONSE_EMA_ALPHA: f64 = 0.05;
+
+    /// Feeds one observed job response into the admission estimator.
+    fn note_completion(&mut self, response_ns: f64) {
+        self.completions_seen += 1;
+        if self.completions_seen == 1 {
+            self.response_ema_ns = response_ns;
+        } else {
+            self.response_ema_ns = (1.0 - Self::RESPONSE_EMA_ALPHA) * self.response_ema_ns
+                + Self::RESPONSE_EMA_ALPHA * response_ns;
+        }
+    }
+
+    /// Feedback admission test: a new frame is declined while the
+    /// observed (smoothed) job response time exceeds the task's relative
+    /// deadline. Declining sheds load, responses recover, admission
+    /// resumes — the closed loop settles with in-flight work sized so
+    /// that admitted jobs finish roughly on time, which is what lets
+    /// SGPRS sustain total FPS with a moderate miss-rate slope past the
+    /// pivot (§V). Self-calibrating: no capacity model needed.
+    fn admission_ok(&self, task: usize, _now: SimTime) -> bool {
+        if !self.config.admission_control || self.config.admission == Admission::QueueAll {
+            return true;
+        }
+        if self.completions_seen < 16 {
+            return true; // cold start: no reliable estimate yet
+        }
+        // Below the device's own concurrency there is no queueing — a new
+        // job cannot make anyone late, and admitting keeps the response
+        // estimator fed (no shed-forever deadlock).
+        if self.active.len() < self.slot_count + self.slot_count / 2 {
+            return true;
+        }
+        self.response_ema_ns <= self.tasks[task].spec.deadline.as_nanos() as f64
+    }
+
+    fn next_admit_index(&mut self, task: usize) -> u64 {
+        let i = self.admit_seq[task];
+        self.admit_seq[task] += 1;
+        i
+    }
+
+    /// Admits a job of `task_idx` released (or grabbed) at `release`.
+    fn admit(&mut self, task_idx: usize, index: u64, release: SimTime) {
+        let job = Job::release(TaskId(task_idx), index, &self.tasks[task_idx].spec, release);
+        self.outstanding[task_idx] += 1;
+        // Source stages are immediately ready: assign contexts now.
+        let sources = self.tasks[task_idx].spec.source_stages();
+        self.active.insert((task_idx, index), job);
+        for stage in sources {
+            let sref = StageRef {
+                task: task_idx,
+                release_index: index,
+                stage,
+            };
+            let priority = self.tasks[task_idx].spec.stages[stage].priority;
+            self.enqueue_stage(sref, priority);
+        }
+    }
+
+    /// Handles kernel completions: stage bookkeeping, promotion rule, job
+    /// completion accounting.
+    fn handle_events(&mut self, events: &[DeviceEvent]) {
+        for ev in events {
+            let Some((sref, est)) = self.running.remove(&ev.kernel) else {
+                continue;
+            };
+            self.pending_ns[ev.context.0] = (self.pending_ns[ev.context.0] - est).max(0.0);
+            let key = (sref.task, sref.release_index);
+            let Some(job) = self.active.get_mut(&key) else {
+                continue;
+            };
+            let missed_virtual =
+                ev.finished_at > job.stages[sref.stage].absolute_deadline;
+            let (ready, completed, release, deadline) = {
+                let spec = &self.tasks[sref.task].spec;
+                let newly_ready = job.complete_stage(sref.stage, ev.finished_at, spec);
+                let ready: Vec<(usize, PriorityLevel)> = newly_ready
+                    .into_iter()
+                    .map(|stage| {
+                        let mut priority = spec.stages[stage].priority;
+                        // §IV-B3: a low stage whose predecessor missed its
+                        // virtual deadline is promoted to medium.
+                        if missed_virtual && self.config.medium_promotion {
+                            priority = priority.promoted();
+                        }
+                        (stage, priority)
+                    })
+                    .collect();
+                (ready, job.completed_at, job.release, job.absolute_deadline)
+            };
+            for (stage, priority) in ready {
+                let sref = StageRef {
+                    task: sref.task,
+                    release_index: sref.release_index,
+                    stage,
+                };
+                self.enqueue_stage(sref, priority);
+            }
+            if let Some(done) = completed {
+                self.note_completion(done.duration_since(release).as_nanos() as f64);
+                self.collector
+                    .record_completion(sref.task, release, done, deadline);
+                self.outstanding[sref.task] =
+                    self.outstanding[sref.task].saturating_sub(1);
+                self.active.remove(&key);
+                // Frame-buffer admission: grab the freshest buffered frame
+                // right away (its deadline starts at the grab), keeping
+                // the device work-conserving under overload.
+                self.grab_buffered(sref.task, done);
+            }
+        }
+    }
+
+    /// §IV-B2 context assignment: empty queues first, then the
+    /// deadline-meeting context with the shortest queue, else earliest
+    /// estimated finish time.
+    fn enqueue_stage(&mut self, sref: StageRef, priority: PriorityLevel) {
+        let deadline = self.active[&(sref.task, sref.release_index)].stages[sref.stage]
+            .absolute_deadline;
+        let now_ns = self.engine.now().as_nanos() as f64;
+        let n_ctx = self.queues.len();
+
+        // Rule 1: contexts with empty queues — pick the one with the most
+        // idle streams (least resident work), ties to the lowest index.
+        let mut best_empty: Option<(usize, usize)> = None; // (idle streams, ctx)
+        for ctx in 0..n_ctx {
+            if self.queues[ctx].is_empty() {
+                let snap = self.engine.snapshot(ContextId(ctx));
+                let idle = snap.idle_high + snap.idle_low;
+                if best_empty.is_none_or(|(best_idle, _)| idle > best_idle) {
+                    best_empty = Some((idle, ctx));
+                }
+            }
+        }
+        let chosen = if let Some((_, ctx)) = best_empty {
+            ctx
+        } else {
+            // Rule 2: among contexts whose estimated finish meets the
+            // stage deadline, the shortest queue.
+            let mut meeting: Option<(usize, usize)> = None; // (queue len, ctx)
+            let mut earliest: (f64, usize) = (f64::INFINITY, 0);
+            for ctx in 0..n_ctx {
+                let est = self.estimate_finish_ns(ctx, sref, now_ns);
+                if est < earliest.0 {
+                    earliest = (est, ctx);
+                }
+                if est <= deadline.as_nanos() as f64 {
+                    let qlen = self.queues[ctx].len();
+                    if meeting.is_none_or(|(best_len, _)| qlen < best_len) {
+                        meeting = Some((qlen, ctx));
+                    }
+                }
+            }
+            match meeting {
+                Some((_, ctx)) => ctx,
+                // Rule 3: earliest estimated finish time.
+                None => earliest.1,
+            }
+        };
+
+        let est = self.isolated_estimate_ns(chosen, sref);
+        self.pending_ns[chosen] += est;
+        let queue_key = match self.config.queue_order {
+            QueueOrder::Edf => deadline,
+            QueueOrder::Fifo => {
+                self.fifo_seq += 1;
+                SimTime::from_nanos(self.fifo_seq)
+            }
+        };
+        self.queues[chosen].push(priority, sref, queue_key);
+    }
+
+    /// Isolated-duration estimate of a stage on a context's full SM
+    /// allocation (the scheduler's cheap WCET-like estimate).
+    fn isolated_estimate_ns(&self, ctx: usize, sref: StageRef) -> f64 {
+        let profile = &self.tasks[sref.task].stage_profiles[sref.stage];
+        self.config.pool.gpu.launch_overhead_ns as f64
+            + profile.duration_ns_at(
+                self.engine.speedup_model(),
+                f64::from(self.sm_allocs[ctx]),
+            )
+    }
+
+    /// Estimated absolute finish instant (ns) if the stage were appended
+    /// to context `ctx` now: current backlog shrunk by the context's
+    /// intra-context parallelism, plus the stage's own estimate.
+    fn estimate_finish_ns(&self, ctx: usize, sref: StageRef, now_ns: f64) -> f64 {
+        let backlog = self.pending_ns[ctx] / self.config.finish_estimate_parallelism;
+        now_ns + backlog + self.isolated_estimate_ns(ctx, sref)
+    }
+
+    /// Dispatches queued stages onto idle stream slots (§IV-B3): high
+    /// band → high streams; medium and low bands → low streams.
+    fn dispatch(&mut self) {
+        for ctx in 0..self.queues.len() {
+            loop {
+                let snap = self.engine.snapshot(ContextId(ctx));
+                let mut dispatched = false;
+                if snap.idle_high > 0 {
+                    if let Some(sref) = self.pop_live(ctx, PopBand::ExactHigh) {
+                        self.submit(ctx, StreamClass::High, sref);
+                        dispatched = true;
+                    }
+                }
+                let snap = self.engine.snapshot(ContextId(ctx));
+                if snap.idle_low > 0 {
+                    if let Some(sref) = self.pop_live(ctx, PopBand::AtMostMedium) {
+                        self.submit(ctx, StreamClass::Low, sref);
+                        dispatched = true;
+                    } else if self.config.high_overflow_to_low {
+                        if let Some(sref) = self.pop_live(ctx, PopBand::ExactHigh) {
+                            self.submit(ctx, StreamClass::Low, sref);
+                            dispatched = true;
+                        }
+                    }
+                }
+                if !dispatched {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Pops the next dispatchable stage from a context queue, discarding
+    /// stale entries (jobs already aborted) and — when
+    /// [`SgprsConfig::abort_hopeless`] is set — aborting jobs whose
+    /// absolute deadline has already passed rather than serving stale
+    /// frames.
+    fn pop_live(&mut self, ctx: usize, band: PopBand) -> Option<StageRef> {
+        loop {
+            let entry = match band {
+                PopBand::ExactHigh => self.queues[ctx].pop_exact(PriorityLevel::High),
+                PopBand::AtMostMedium => self.queues[ctx]
+                    .pop_at_most(PriorityLevel::Medium)
+                    .map(|(_, e)| e),
+            }?;
+            let sref = entry.item;
+            let key = (sref.task, sref.release_index);
+            let Some(job) = self.active.get(&key) else {
+                // The job was aborted while this stage sat in the queue.
+                let est = self.isolated_estimate_ns(ctx, sref);
+                self.pending_ns[ctx] = (self.pending_ns[ctx] - est).max(0.0);
+                continue;
+            };
+            if self.config.abort_hopeless && self.engine.now() > job.absolute_deadline {
+                let est = self.isolated_estimate_ns(ctx, sref);
+                self.pending_ns[ctx] = (self.pending_ns[ctx] - est).max(0.0);
+                self.abort_job(sref.task, sref.release_index);
+                continue;
+            }
+            return Some(sref);
+        }
+    }
+
+    /// Aborts a hopeless job: the frame is dropped, the task becomes free
+    /// to take the freshest buffered frame immediately.
+    fn abort_job(&mut self, task: usize, release_index: u64) {
+        let Some(job) = self.active.remove(&(task, release_index)) else {
+            return;
+        };
+        self.collector.record_drop(task, job.release);
+        self.outstanding[task] = self.outstanding[task].saturating_sub(1);
+        let now = self.engine.now();
+        self.grab_buffered(task, now);
+    }
+
+    /// Admits the freshest buffered frame of `task` at instant `grab`, if
+    /// one is waiting and the admission test passes (declined frames are
+    /// dropped without consuming GPU time).
+    fn grab_buffered(&mut self, task: usize, grab: SimTime) {
+        if self.config.admission != Admission::FrameBuffer {
+            return;
+        }
+        let Some(boundary) = self.buffered[task].take() else {
+            return;
+        };
+        if !self.admission_ok(task, grab) {
+            self.collector.record_skip(task, boundary);
+            return;
+        }
+        let index = self.next_admit_index(task);
+        self.admit(task, index, grab);
+    }
+
+    fn submit(&mut self, ctx: usize, class: StreamClass, sref: StageRef) {
+        let label = format!(
+            "τ{}#{}/s{}",
+            sref.task, sref.release_index, sref.stage
+        );
+        let profile = self.tasks[sref.task].stage_profiles[sref.stage].clone();
+        let est = self.isolated_estimate_ns(ctx, sref);
+        let handle = self
+            .engine
+            .submit(ContextId(ctx), class, KernelDesc::new(label, profile))
+            .expect("dispatch checked an idle stream existed");
+        self.running.insert(handle, (sref, est));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{offline, ContextPoolSpec};
+    use sgprs_dnn::{models, CostModel};
+    use sgprs_rt::SimDuration;
+
+    fn thirty_fps() -> SimDuration {
+        SimDuration::from_micros(33_333)
+    }
+
+    fn compile(pool: &ContextPoolSpec, n: usize) -> Vec<CompiledTask> {
+        let net = models::resnet18(1, 224);
+        let task = offline::compile_network_task(
+            "cam",
+            &net,
+            &CostModel::calibrated(),
+            6,
+            thirty_fps(),
+            pool,
+        )
+        .unwrap();
+        vec![task; n]
+    }
+
+    fn run_sgprs(pool: ContextPoolSpec, n: usize, secs: u64) -> RunMetrics {
+        let tasks = compile(&pool, n);
+        let mut s = SgprsScheduler::new(SgprsConfig::new(pool), tasks);
+        s.run(SimTime::ZERO + SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn single_task_meets_every_deadline() {
+        let m = run_sgprs(ContextPoolSpec::new(2, 1.0), 1, 2);
+        assert!(m.is_miss_free(), "one 30-fps task must be trivially schedulable: {m:?}");
+        assert!((m.total_fps - 30.0).abs() < 1.5, "fps {:.1}", m.total_fps);
+    }
+
+    #[test]
+    fn light_load_scales_fps_linearly() {
+        let m4 = run_sgprs(ContextPoolSpec::new(2, 1.5), 4, 2);
+        assert!(m4.is_miss_free(), "{m4:?}");
+        assert!((m4.total_fps - 120.0).abs() < 4.0, "fps {:.1}", m4.total_fps);
+    }
+
+    #[test]
+    fn overload_saturates_but_keeps_serving() {
+        let m = run_sgprs(ContextPoolSpec::new(3, 1.5), 30, 3);
+        assert!(m.total_fps > 300.0, "saturated fps {:.0}", m.total_fps);
+        assert!(m.dmr > 0.0, "30 tasks must overload the pool");
+        assert!(m.dmr < 0.9, "SGPRS must degrade gracefully, dmr {:.2}", m.dmr);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_sgprs(ContextPoolSpec::new(2, 1.5), 8, 2);
+        let b = run_sgprs(ContextPoolSpec::new(2, 1.5), 8, 2);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.late, b.late);
+        assert_eq!(a.skipped, b.skipped);
+    }
+
+    #[test]
+    fn fifo_ablation_runs_and_differs_or_matches_edf() {
+        let pool = ContextPoolSpec::new(2, 1.5);
+        let tasks = compile(&pool, 16);
+        let mut cfg = SgprsConfig::new(pool.clone());
+        cfg.queue_order = QueueOrder::Fifo;
+        let mut s = SgprsScheduler::new(cfg, tasks.clone());
+        let fifo = s.run(SimTime::ZERO + SimDuration::from_secs(2));
+        let mut s = SgprsScheduler::new(SgprsConfig::new(pool), tasks);
+        let edf = s.run(SimTime::ZERO + SimDuration::from_secs(2));
+        // EDF should never be substantially worse on misses.
+        assert!(edf.late + edf.skipped <= fifo.late + fifo.skipped + 5);
+    }
+
+    #[test]
+    fn queue_all_admission_completes_more_but_later() {
+        let pool = ContextPoolSpec::new(2, 1.0);
+        let tasks = compile(&pool, 24);
+        let mut cfg = SgprsConfig::new(pool);
+        cfg.admission = Admission::QueueAll;
+        let mut s = SgprsScheduler::new(cfg, tasks);
+        let m = s.run(SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(m.skipped, 0, "queue-all never skips");
+        assert!(m.completed > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_task_set_panics() {
+        let _ = SgprsScheduler::new(SgprsConfig::new(ContextPoolSpec::new(2, 1.0)), vec![]);
+    }
+
+    #[test]
+    fn tracing_records_kernels() {
+        let pool = ContextPoolSpec::new(2, 1.0);
+        let tasks = compile(&pool, 2);
+        let mut cfg = SgprsConfig::new(pool);
+        cfg.tracing = true;
+        let mut s = SgprsScheduler::new(cfg, tasks);
+        let _ = s.run(SimTime::ZERO + SimDuration::from_millis(200));
+        let trace = s.engine().trace().expect("tracing enabled");
+        assert!(!trace.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! DNN graph substrate for the SGPRS reproduction.
+//!
+//! The paper schedules DNN inference tasks (ResNet18 at 224×224 in the
+//! evaluation) whose layers it groups into *stages*. This crate provides
+//! everything needed to turn a network architecture into the work profiles
+//! the GPU simulator executes:
+//!
+//! * [`TensorShape`] — NCHW activation shapes with element/byte counts.
+//! * [`LayerKind`] / [`Layer`] — operator definitions with shape inference
+//!   and FLOP/byte accounting (convolution, pooling, batch-norm, ReLU,
+//!   residual add, linear, softmax).
+//! * [`Network`] / [`NetworkBuilder`] — a validated DAG of layers.
+//! * [`models`] — reference architectures: ResNet18/34, VGG16, an
+//!   AlexNet-style network, and a depthwise-separable MobileNet-style
+//!   network.
+//! * [`CostModel`] — maps layer FLOPs/bytes to single-SM execution time,
+//!   calibrated so ResNet18 reproduces the paper's Figure 1 (≈ 23× overall
+//!   speedup at 68 SMs, convolution-dominated).
+//! * [`partition`] — splits a network into `k` balanced stages (the paper
+//!   uses six) and emits per-stage [`sgprs_gpu_sim::WorkProfile`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use sgprs_dnn::{models, partition, CostModel};
+//!
+//! let net = models::resnet18(1, 224);
+//! let cost = CostModel::calibrated();
+//! let stages = partition::by_count(&net, &cost, 6).expect("resnet18 has ≥ 6 layers");
+//! assert_eq!(stages.len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod error;
+mod graph;
+mod layer;
+pub mod models;
+pub mod partition;
+pub mod report;
+mod shape;
+
+pub use cost::CostModel;
+pub use error::DnnError;
+pub use graph::{Network, NetworkBuilder, NodeId};
+pub use layer::{Layer, LayerKind};
+pub use partition::Stage;
+pub use shape::TensorShape;

@@ -1,0 +1,25 @@
+//! Network cost report: per-layer FLOPs/bytes/time breakdown for every
+//! reference architecture, showing why convolution dominates ResNet18's
+//! speedup behaviour (§III of the paper).
+//!
+//! Run with: `cargo run --release --example network_report [model]`
+//! where `model` is one of `resnet18` (default), `resnet34`, `vgg16`,
+//! `alexnet`, `mobilenet`.
+
+use sgprs_suite::dnn::{models, report, CostModel};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "resnet18".into());
+    let net = match which.as_str() {
+        "resnet18" => models::resnet18(1, 224),
+        "resnet34" => models::resnet34(1, 224),
+        "vgg16" => models::vgg16(1, 224),
+        "alexnet" => models::alexnet(1, 224),
+        "mobilenet" => models::mobilenet(1, 224),
+        other => {
+            eprintln!("unknown model `{other}`; use resnet18|resnet34|vgg16|alexnet|mobilenet");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report::render(&net, &CostModel::calibrated()));
+}

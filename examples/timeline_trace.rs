@@ -1,0 +1,46 @@
+//! Timeline tracing: run a short SGPRS schedule with device tracing on and
+//! export a Chrome-trace JSON (open it at `chrome://tracing` or in
+//! Perfetto) showing every stage kernel on its context/stream lane.
+//!
+//! Run with: `cargo run --release --example timeline_trace`
+
+use sgprs_suite::core::{offline, ContextPoolSpec, SgprsConfig, SgprsScheduler};
+use sgprs_suite::dnn::{models, CostModel};
+use sgprs_suite::rt::{SimDuration, SimTime};
+
+fn main() {
+    let pool = ContextPoolSpec::new(2, 1.5);
+    let net = models::resnet18(1, 224);
+    let task = offline::compile_network_task(
+        "cam",
+        &net,
+        &CostModel::calibrated(),
+        6,
+        SimDuration::from_micros(33_333),
+        &pool,
+    )
+    .expect("six stages");
+
+    let mut cfg = SgprsConfig::new(pool);
+    cfg.tracing = true;
+    let mut scheduler = SgprsScheduler::new(cfg, vec![task; 6]);
+    let metrics = scheduler.run(SimTime::ZERO + SimDuration::from_millis(700));
+
+    let trace = scheduler
+        .engine()
+        .trace()
+        .expect("tracing was enabled in the config");
+    println!(
+        "captured {} kernel spans over {:.0} ms of simulated time ({:.1} fps, {:.1}% DMR)",
+        trace.len(),
+        700.0,
+        metrics.total_fps,
+        metrics.dmr * 100.0
+    );
+
+    let json = trace.to_chrome_trace_json();
+    let path = std::env::temp_dir().join("sgprs_trace.json");
+    std::fs::write(&path, &json).expect("write trace file");
+    println!("chrome trace written to {}", path.display());
+    println!("open chrome://tracing (or https://ui.perfetto.dev) and load it");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the SGPRS reproduction.
+//!
+//! Re-exports the workspace crates under one roof so the examples under
+//! `examples/` and the integration tests under `tests/` can use a single
+//! dependency. Library users should depend on the individual crates
+//! (`sgprs-core`, `sgprs-gpu-sim`, ...) directly.
+
+pub use sgprs_core as core;
+pub use sgprs_dnn as dnn;
+pub use sgprs_gpu_sim as gpu_sim;
+pub use sgprs_rt as rt;
+pub use sgprs_workload as workload;
