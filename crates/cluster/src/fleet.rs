@@ -1,0 +1,604 @@
+//! The fleet dispatcher: epoch-driven simulation of many GPU nodes under
+//! tenant churn.
+//!
+//! Simulated time is divided into *epochs*. At each epoch boundary the
+//! dispatcher applies churn events (arrivals are placed through the
+//! [`Placer`] + [`AdmissionController`]; departures free capacity and
+//! drain the wait queue), then every non-empty node runs its scheduler
+//! for one epoch and reports [`sgprs_core::RunMetrics`], which the
+//! [`FleetMetricsBuilder`] folds into fleet totals. Optional migration
+//! moves a tenant off any node whose epoch miss rate crossed a threshold.
+//!
+//! Granularity contract: arrivals keep sub-epoch precision (they enter
+//! as release phases inside their first epoch); departures and
+//! migrations take effect at the epoch boundary *following* the event,
+//! so a departing tenant serves out its final partial epoch. Jobs still
+//! in flight
+//! when an epoch ends are not counted as completed — with the default
+//! one-second epoch and the paper's 33 ms periods this truncation is
+//! under 3 % and affects every scheduler equally.
+
+use crate::{
+    AdmissionConfig, AdmissionController, ChurnEvent, ChurnTrace, FleetMetrics,
+    FleetMetricsBuilder, FleetNode, NodeSpec, Placer, PlacementPolicy, TenantSpec,
+};
+use sgprs_core::CompiledTask;
+use sgprs_rt::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Migration knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationConfig {
+    /// Enable migration off overloaded nodes.
+    pub enabled: bool,
+    /// Epoch deadline-miss rate above which a node sheds one tenant.
+    pub dmr_threshold: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            enabled: false,
+            dmr_threshold: 0.2,
+        }
+    }
+}
+
+/// Configuration of a [`Fleet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// The nodes, in dispatch order.
+    pub nodes: Vec<NodeSpec>,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+    /// Admission-control knobs.
+    pub admission: AdmissionConfig,
+    /// Epoch length (the dispatch/re-evaluation granularity).
+    pub epoch: SimDuration,
+    /// Migration knobs.
+    pub migration: MigrationConfig,
+    /// Base seed for the nodes' execution jitter.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A fleet over `nodes` with least-utilisation placement, default
+    /// admission control, one-second epochs, and no migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    #[must_use]
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "a fleet needs at least one node");
+        FleetConfig {
+            nodes,
+            placement: PlacementPolicy::LeastUtilization,
+            admission: AdmissionConfig::default(),
+            epoch: SimDuration::from_secs(1),
+            migration: MigrationConfig::default(),
+            seed: 0x5672_5053,
+        }
+    }
+
+    /// Replaces the placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Enables migration with the given epoch-DMR threshold.
+    #[must_use]
+    pub fn with_migration(mut self, dmr_threshold: f64) -> Self {
+        self.migration = MigrationConfig {
+            enabled: true,
+            dmr_threshold,
+        };
+        self
+    }
+
+    /// Replaces the jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Where a dispatched tenant ended up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchOutcome {
+    /// Placed on the node with the given index.
+    Placed(usize),
+    /// Currently over capacity everywhere; the tenant waits in the
+    /// dispatch queue for departures to free room.
+    Queued,
+    /// Latency-infeasible on every node: no departure can ever make it
+    /// fit, so it is dropped rather than queued (queueing it would block
+    /// the FIFO queue's head forever).
+    Infeasible,
+}
+
+/// A simulated multi-GPU fleet with admission control, load balancing,
+/// and tenant churn.
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    nodes: Vec<FleetNode>,
+    placer: Placer,
+    admission: AdmissionController,
+    queue: VecDeque<TenantSpec>,
+    /// Sub-epoch release phase of tenants that arrived mid-epoch,
+    /// consumed by the next `run_epoch`.
+    pending_phase: HashMap<String, SimDuration>,
+    /// Compiled-task cache keyed by (model, stages, period ns, node).
+    compiled: HashMap<(crate::ModelKind, usize, u64, usize), CompiledTask>,
+}
+
+impl Fleet {
+    /// Builds an empty fleet from its configuration.
+    #[must_use]
+    pub fn new(cfg: FleetConfig) -> Self {
+        let nodes = cfg.nodes.iter().cloned().map(FleetNode::new).collect();
+        let placer = Placer::new(cfg.placement);
+        let admission = AdmissionController::new(cfg.admission.clone());
+        Fleet {
+            cfg,
+            nodes,
+            placer,
+            admission,
+            queue: VecDeque::new(),
+            pending_phase: HashMap::new(),
+            compiled: HashMap::new(),
+        }
+    }
+
+    /// The nodes with their resident tenants.
+    #[must_use]
+    pub fn nodes(&self) -> &[FleetNode] {
+        &self.nodes
+    }
+
+    /// Tenants waiting for capacity.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The admission controller in use.
+    #[must_use]
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Offers `tenant` to the placement policy: on success the tenant
+    /// becomes resident; when merely over capacity it joins the wait
+    /// queue; when latency-infeasible on every node it is dropped.
+    pub fn dispatch(&mut self, tenant: TenantSpec) -> DispatchOutcome {
+        match self.placer.place(&self.nodes, &tenant, &self.admission) {
+            Some(idx) => {
+                self.nodes[idx].tenants.push(tenant);
+                DispatchOutcome::Placed(idx)
+            }
+            None => {
+                // Queue only tenants some node could carry once load
+                // drains; best-case latency is load-independent, so a
+                // tenant failing the gate everywhere can never fit.
+                let feasible_somewhere = self.nodes.iter().any(|node| {
+                    self.admission.best_case_latency(node, &tenant) <= tenant.period()
+                });
+                if feasible_somewhere {
+                    self.queue.push_back(tenant);
+                    DispatchOutcome::Queued
+                } else {
+                    DispatchOutcome::Infeasible
+                }
+            }
+        }
+    }
+
+    /// Removes the named tenant wherever it lives (node or queue).
+    /// Returns `true` when something was removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        for node in &mut self.nodes {
+            if let Some(pos) = node.tenants.iter().position(|t| t.name == name) {
+                node.tenants.remove(pos);
+                return true;
+            }
+        }
+        if let Some(pos) = self.queue.iter().position(|t| t.name == name) {
+            self.queue.remove(pos);
+            return true;
+        }
+        false
+    }
+
+    /// Retries queued tenants in FIFO order; returns how many were
+    /// admitted. Stops at the first tenant that still does not fit, so
+    /// the queue stays fair (no overtaking).
+    pub fn drain_queue(&mut self) -> u64 {
+        let mut admitted = 0;
+        while let Some(front) = self.queue.front() {
+            match self.placer.place(&self.nodes, front, &self.admission) {
+                Some(idx) => {
+                    let tenant = self.queue.pop_front().expect("front exists");
+                    self.nodes[idx].tenants.push(tenant);
+                    admitted += 1;
+                }
+                None => break,
+            }
+        }
+        admitted
+    }
+
+    fn compiled_for(&mut self, tenant: &TenantSpec, node_idx: usize) -> CompiledTask {
+        let key = (
+            tenant.model,
+            tenant.stages,
+            tenant.period().as_nanos(),
+            node_idx,
+        );
+        let pool = self.nodes[node_idx].spec.pool();
+        let mut task = self
+            .compiled
+            .entry(key)
+            .or_insert_with(|| tenant.compile_for(&pool))
+            .clone();
+        task.spec.name = tenant.name.clone();
+        task
+    }
+
+    /// Runs the fleet over `trace` until `horizon`, returning the
+    /// aggregated metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured epoch is zero.
+    #[must_use]
+    pub fn run(&mut self, trace: ChurnTrace, horizon: SimDuration) -> FleetMetrics {
+        assert!(!self.cfg.epoch.is_zero(), "epoch must be positive");
+        let mut builder = FleetMetricsBuilder::new(
+            self.nodes.iter().map(|n| n.spec.name.clone()).collect(),
+            self.nodes.iter().map(|n| n.spec.gpu.total_sms).collect(),
+        );
+        let mut events = VecDeque::from(trace.into_sorted());
+        let mut epoch_start = SimTime::ZERO;
+        let end = SimTime::ZERO + horizon;
+        let mut epoch_index = 0u64;
+        // Departures observed mid-epoch, applied at the *next* epoch
+        // boundary (the granularity contract: a departing tenant serves
+        // out its final partial epoch).
+        let mut deferred_departures: Vec<String> = Vec::new();
+        while epoch_start < end {
+            let epoch_len = self.cfg.epoch.min(end.duration_since(epoch_start));
+            let epoch_end = epoch_start + epoch_len;
+            // 1a. Apply departures from the previous epoch.
+            for name in deferred_departures.drain(..) {
+                if self.remove(&name) {
+                    builder.departures += 1;
+                }
+            }
+            // The departures may have freed room for queued tenants.
+            builder.admitted_after_wait += self.drain_queue();
+            // 1b. Apply churn falling inside this epoch.
+            while let Some((at, _)) = events.front() {
+                if *at >= epoch_end {
+                    break;
+                }
+                let (at, event) = events.pop_front().expect("front exists");
+                match event {
+                    ChurnEvent::Arrival(tenant) => {
+                        builder.arrivals += 1;
+                        let phase = at.duration_since(epoch_start);
+                        match self.dispatch(tenant.clone()) {
+                            DispatchOutcome::Placed(_) => {
+                                builder.admitted += 1;
+                                self.pending_phase.insert(tenant.name, phase);
+                            }
+                            DispatchOutcome::Queued => builder.rejected += 1,
+                            DispatchOutcome::Infeasible => builder.infeasible += 1,
+                        }
+                    }
+                    ChurnEvent::Departure(name) => deferred_departures.push(name),
+                }
+            }
+            // 2. Sample utilisation, then run every non-empty node.
+            let mut epoch_dmr: Vec<f64> = vec![0.0; self.nodes.len()];
+            // Indexing (not iterating `self.nodes`) because the body
+            // needs `&mut self` for the compiled-task cache.
+            #[allow(clippy::needless_range_loop)]
+            for idx in 0..self.nodes.len() {
+                let budget = self.admission.budget(&self.nodes[idx], None);
+                let demand = self.nodes[idx].total_demand();
+                builder.record_utilization(
+                    idx,
+                    if budget > 0.0 { demand / budget } else { 0.0 },
+                );
+                if self.nodes[idx].tenants.is_empty() {
+                    continue;
+                }
+                let tenants = self.nodes[idx].tenants.clone();
+                let tasks: Vec<CompiledTask> = tenants
+                    .iter()
+                    .map(|t| {
+                        let mut task = self.compiled_for(t, idx);
+                        task.spec.phase = self
+                            .pending_phase
+                            .get(&t.name)
+                            .copied()
+                            .unwrap_or(SimDuration::ZERO);
+                        task
+                    })
+                    .collect();
+                let seed = self
+                    .cfg
+                    .seed
+                    .wrapping_add(epoch_index.wrapping_mul(0x9E37_79B9))
+                    .wrapping_add(idx as u64);
+                let m = self.nodes[idx].spec.run_epoch(tasks, epoch_len, seed);
+                if m.released > 0 {
+                    epoch_dmr[idx] = (m.late + m.skipped + m.dropped) as f64 / m.released as f64;
+                }
+                builder.record_epoch(idx, &m);
+            }
+            self.pending_phase.clear();
+            // 3. Shed load from nodes that missed too much this epoch.
+            if self.cfg.migration.enabled {
+                builder.migrations += self.migrate_overloaded(&epoch_dmr);
+            }
+            epoch_start = epoch_end;
+            epoch_index += 1;
+        }
+        // Departures whose boundary is the end of the run still count.
+        for name in deferred_departures.drain(..) {
+            if self.remove(&name) {
+                builder.departures += 1;
+            }
+        }
+        let final_tenants: Vec<usize> = self.nodes.iter().map(|n| n.tenants.len()).collect();
+        builder.finish(horizon, &final_tenants, self.queue.len() as u64)
+    }
+
+    /// Moves the most recently placed tenant off every node whose epoch
+    /// miss rate crossed the threshold, if another node admits it.
+    fn migrate_overloaded(&mut self, epoch_dmr: &[f64]) -> u64 {
+        let mut migrations = 0;
+        // Indexing because the body mutates several nodes at once.
+        #[allow(clippy::needless_range_loop)]
+        for idx in 0..self.nodes.len() {
+            if epoch_dmr[idx] <= self.cfg.migration.dmr_threshold
+                || self.nodes[idx].tenants.len() < 2
+            {
+                continue;
+            }
+            let Some(tenant) = self.nodes[idx].tenants.pop() else {
+                continue;
+            };
+            // Choose among the *other* nodes only.
+            let moved = {
+                let candidate_idx = (0..self.nodes.len())
+                    .filter(|&j| j != idx)
+                    .filter(|&j| self.admission.evaluate(&self.nodes[j], &tenant).is_admit())
+                    .min_by(|&a, &b| {
+                        let load = |j: usize| {
+                            let budget = self.admission.budget(&self.nodes[j], None);
+                            if budget > 0.0 {
+                                self.nodes[j].total_demand() / budget
+                            } else {
+                                f64::INFINITY
+                            }
+                        };
+                        load(a).total_cmp(&load(b))
+                    });
+                match candidate_idx {
+                    Some(j) => {
+                        self.nodes[j].tenants.push(tenant.clone());
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if moved {
+                migrations += 1;
+            } else {
+                // Nobody can take it; keep it where it was.
+                self.nodes[idx].tenants.push(tenant);
+            }
+        }
+        migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChurnConfig, ModelKind, NodeScheduler};
+    use sgprs_gpu_sim::GpuSpec;
+
+    fn three_node_fleet() -> FleetConfig {
+        FleetConfig::new(vec![
+            NodeSpec::sgprs("gpu0", GpuSpec::rtx_2080_ti()),
+            NodeSpec::sgprs("gpu1", GpuSpec::rtx_2080_ti()),
+            NodeSpec::sgprs("gpu2", GpuSpec::rtx_2080_ti()),
+        ])
+    }
+
+    fn tenant(i: usize) -> TenantSpec {
+        TenantSpec::new(format!("cam-{i}"), ModelKind::ResNet18, 30.0)
+    }
+
+    #[test]
+    fn dispatch_places_until_saturation_then_queues() {
+        let mut fleet = Fleet::new(three_node_fleet());
+        let mut placed = 0;
+        let mut queued = 0;
+        for i in 0..100 {
+            match fleet.dispatch(tenant(i)) {
+                DispatchOutcome::Placed(_) => placed += 1,
+                DispatchOutcome::Queued => queued += 1,
+                DispatchOutcome::Infeasible => panic!("resnet18@30fps is feasible"),
+            }
+        }
+        assert!(placed >= 45, "3 GPUs take ≥ 15 tenants each, got {placed}");
+        assert!(queued > 0, "admission control must eventually say no");
+        assert_eq!(fleet.queued(), queued);
+    }
+
+    #[test]
+    fn infeasible_tenants_are_dropped_not_queued() {
+        let mut fleet = Fleet::new(three_node_fleet());
+        // VGG-16 at 30 fps cannot meet its period on any node: dropping
+        // it keeps the wait queue's head from blocking forever.
+        let hopeless = TenantSpec::new("vgg", ModelKind::Vgg16, 30.0);
+        assert_eq!(fleet.dispatch(hopeless), DispatchOutcome::Infeasible);
+        assert_eq!(fleet.queued(), 0);
+        // And a run over a trace containing one reports it as such.
+        let mut trace = ChurnTrace::new();
+        trace.push(
+            sgprs_rt::SimTime::ZERO,
+            crate::ChurnEvent::Arrival(TenantSpec::new("vgg", ModelKind::Vgg16, 30.0)),
+        );
+        trace.push(
+            sgprs_rt::SimTime::ZERO,
+            crate::ChurnEvent::Arrival(tenant(0)),
+        );
+        let m = fleet.run(trace, SimDuration::from_secs(1));
+        assert_eq!(m.infeasible, 1);
+        assert_eq!(m.admitted, 1);
+        assert_eq!(m.still_queued, 0);
+        assert!((m.rejection_rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn departures_take_effect_at_the_following_boundary() {
+        let mut fleet = Fleet::new(three_node_fleet());
+        let mut trace = ChurnTrace::new();
+        let t = tenant(0);
+        let name = t.name.clone();
+        trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(t));
+        // Departs mid-second-epoch: it must still serve epoch 2 fully.
+        trace.push(
+            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(1_500),
+            crate::ChurnEvent::Departure(name),
+        );
+        let m = fleet.run(trace, SimDuration::from_secs(3));
+        assert_eq!(m.departures, 1);
+        assert!(fleet.nodes().iter().all(|n| n.tenants.is_empty()));
+        // Two full epochs of 30 fps service (minus boundary truncation),
+        // not one: retroactive removal would roughly halve this.
+        assert!(
+            m.nodes[0].completed + m.nodes[1].completed + m.nodes[2].completed >= 50,
+            "{m:?}"
+        );
+    }
+
+    #[test]
+    fn departures_let_queued_tenants_in() {
+        let mut fleet = Fleet::new(three_node_fleet());
+        let mut names = Vec::new();
+        // Saturate, then one more that must queue.
+        let mut i = 0;
+        loop {
+            let t = tenant(i);
+            let name = t.name.clone();
+            match fleet.dispatch(t) {
+                DispatchOutcome::Placed(_) => names.push(name),
+                DispatchOutcome::Queued => break,
+                DispatchOutcome::Infeasible => panic!("resnet18@30fps is feasible"),
+            }
+            i += 1;
+        }
+        assert_eq!(fleet.queued(), 1);
+        assert!(fleet.remove(&names[0]), "departure frees capacity");
+        assert_eq!(fleet.drain_queue(), 1, "queued tenant admitted");
+        assert_eq!(fleet.queued(), 0);
+    }
+
+    #[test]
+    fn static_population_run_produces_fleet_throughput() {
+        let mut fleet = Fleet::new(three_node_fleet());
+        let trace = ChurnTrace::static_population((0..6).map(tenant));
+        let m = fleet.run(trace, SimDuration::from_secs(2));
+        assert!(m.total_fps > 150.0, "6 × 30 fps minus truncation: {m:?}");
+        assert_eq!(m.arrivals, 6);
+        assert_eq!(m.admitted, 6);
+        assert_eq!(m.rejection_rate, 0.0);
+        let node_sum: f64 = m.nodes.iter().map(|n| n.fps).sum();
+        assert!((node_sum - m.total_fps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn churn_run_reports_rejections_under_pressure() {
+        // One small GPU, heavy arrivals: rejections are inevitable.
+        let cfg = FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))]);
+        let mut fleet = Fleet::new(cfg);
+        let churn = ChurnConfig {
+            mean_interarrival: SimDuration::from_millis(100),
+            min_lifetime: SimDuration::from_secs(2),
+            max_lifetime: SimDuration::from_secs(4),
+            ..ChurnConfig::default()
+        };
+        let horizon = SimDuration::from_secs(4);
+        let trace = ChurnTrace::generate(&churn, horizon, 11);
+        let m = fleet.run(trace, horizon);
+        assert!(m.arrivals > 10);
+        assert!(m.rejected > 0, "{m:?}");
+        assert!(m.rejection_rate > 0.0 && m.rejection_rate <= 1.0);
+        assert!(m.total_fps > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run_once = || {
+            let mut fleet = Fleet::new(three_node_fleet().with_seed(99));
+            let churn = ChurnConfig::default();
+            let horizon = SimDuration::from_secs(3);
+            let trace = ChurnTrace::generate(&churn, horizon, 5);
+            fleet.run(trace, horizon)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn migration_moves_load_off_an_overloaded_node() {
+        // Two nodes, round-robin placement is blind to the size gap, so
+        // the small node overloads and migration must bail it out.
+        let cfg = FleetConfig::new(vec![
+            NodeSpec::sgprs("small", GpuSpec::synthetic(16)),
+            NodeSpec::sgprs("big", GpuSpec::rtx_2080_ti()),
+        ])
+        .with_placement(PlacementPolicy::RoundRobin)
+        .with_migration(0.05);
+        // Force-load the small node beyond its means.
+        let mut fleet = Fleet::new(cfg);
+        for i in 0..6 {
+            fleet.nodes[0].tenants.push(tenant(i));
+        }
+        let m = fleet.run(ChurnTrace::new(), SimDuration::from_secs(3));
+        assert!(m.migrations > 0, "{m:?}");
+        assert!(
+            fleet.nodes()[0].tenants.len() < 6,
+            "the small node shed load"
+        );
+        assert!(
+            !fleet.nodes()[1].tenants.is_empty(),
+            "the big node absorbed it"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_nodes_and_schedulers_coexist() {
+        let cfg = FleetConfig::new(vec![
+            NodeSpec::sgprs("sgprs", GpuSpec::rtx_2080_ti()),
+            NodeSpec::sgprs("naive", GpuSpec::synthetic(34))
+                .with_scheduler(NodeScheduler::Naive),
+        ]);
+        let mut fleet = Fleet::new(cfg);
+        let trace = ChurnTrace::static_population((0..4).map(tenant));
+        let m = fleet.run(trace, SimDuration::from_secs(2));
+        assert!(m.total_fps > 0.0);
+        assert_eq!(m.nodes.len(), 2);
+        assert!(m.nodes.iter().all(|n| n.released > 0));
+    }
+}

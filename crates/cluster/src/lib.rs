@@ -1,0 +1,72 @@
+//! `sgprs-cluster` — a simulated multi-GPU fleet over the SGPRS stack.
+//!
+//! The paper (Babaei & Chantem, DATE 2024) schedules periodic DNN tasks
+//! on *one* partitioned GPU. This crate scales that out: a [`Fleet`] of
+//! per-GPU nodes — each wrapping an [`sgprs_core::SgprsScheduler`] (or
+//! the naive / reconfiguring baselines) over a possibly heterogeneous
+//! [`sgprs_gpu_sim::GpuSpec`] — fronted by a dispatcher that admits,
+//! places, and migrates tenants.
+//!
+//! # Architecture
+//!
+//! * [`TenantSpec`] / [`ModelKind`] — node-independent descriptions of
+//!   periodic inference services; compiled per node pool on placement
+//!   (heterogeneous nodes profile different WCETs).
+//! * [`NodeSpec`] / [`FleetNode`] — one simulated GPU, its context pool,
+//!   and the scheduler variant driving it.
+//! * [`AdmissionController`] — utilisation-bound admission built on the
+//!   fluid occupancy argument of [`sgprs_core::analysis`] plus the
+//!   density gate of [`sgprs_rt::analysis`]: infeasible tenants are
+//!   rejected (queued) instead of silently missing deadlines.
+//! * [`Placer`] / [`PlacementPolicy`] — round-robin, least-utilisation,
+//!   and best-fit placement over admissible nodes.
+//! * [`ChurnTrace`] / [`ChurnConfig`] — deterministic arrival/departure
+//!   traces driven by [`sgprs_rt::SimTime`].
+//! * [`Fleet`] / [`FleetConfig`] — the epoch-driven dispatcher, with
+//!   optional migration off overloaded nodes.
+//! * [`FleetMetrics`] — per-node and fleet-level FPS, miss rate,
+//!   rejection rate, and a utilisation histogram, aggregated from the
+//!   nodes' [`sgprs_core::RunMetrics`] and rendered as JSON.
+//!
+//! # Example
+//!
+//! ```
+//! use sgprs_cluster::{
+//!     ChurnTrace, Fleet, FleetConfig, ModelKind, NodeSpec, TenantSpec,
+//! };
+//! use sgprs_gpu_sim::GpuSpec;
+//! use sgprs_rt::SimDuration;
+//!
+//! // Two 2080 Ti nodes serving four ResNet18 camera feeds at 30 fps.
+//! let mut fleet = Fleet::new(FleetConfig::new(vec![
+//!     NodeSpec::sgprs("gpu0", GpuSpec::rtx_2080_ti()),
+//!     NodeSpec::sgprs("gpu1", GpuSpec::rtx_2080_ti()),
+//! ]));
+//! let tenants =
+//!     (0..4).map(|i| TenantSpec::new(format!("cam-{i}"), ModelKind::ResNet18, 30.0));
+//! let metrics = fleet.run(
+//!     ChurnTrace::static_population(tenants),
+//!     SimDuration::from_secs(1),
+//! );
+//! assert!(metrics.total_fps > 0.0);
+//! assert_eq!(metrics.rejected, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod churn;
+mod fleet;
+mod metrics;
+mod node;
+mod placement;
+mod tenant;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
+pub use churn::{ChurnConfig, ChurnEvent, ChurnTrace};
+pub use fleet::{DispatchOutcome, Fleet, FleetConfig, MigrationConfig};
+pub use metrics::{FleetMetrics, FleetMetricsBuilder, NodeReport, UTILIZATION_BINS};
+pub use node::{FleetNode, NodeScheduler, NodeSpec};
+pub use placement::{Placer, PlacementPolicy};
+pub use tenant::{ModelKind, TenantSpec};

@@ -1,0 +1,371 @@
+//! Fleet-level metrics: per-node and total throughput, miss and
+//! rejection rates, and a utilisation histogram.
+//!
+//! Node schedulers already report the paper's metrics through
+//! [`sgprs_core::RunMetrics`] (produced by `sgprs_core::MetricsCollector`);
+//! this module folds those per-epoch reports into fleet aggregates and
+//! renders them as JSON for downstream tooling.
+
+use serde::{Deserialize, Serialize};
+use sgprs_core::RunMetrics;
+use sgprs_rt::SimDuration;
+
+/// Number of bins in the utilisation histogram (`[0, 0.1) .. [0.9, ∞)`).
+pub const UTILIZATION_BINS: usize = 10;
+
+/// Accumulated results for one node across every epoch of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Node name.
+    pub name: String,
+    /// Physical SMs of the node's device.
+    pub total_sms: u32,
+    /// Releases observed across all epochs.
+    pub released: u64,
+    /// Completions across all epochs.
+    pub completed: u64,
+    /// Deadline misses (late + skipped + dropped) across all epochs.
+    pub missed: u64,
+    /// Achieved frames per second over the whole run window.
+    pub fps: f64,
+    /// Deadline-miss rate over the whole run.
+    pub dmr: f64,
+    /// Mean admission-utilisation (demand/budget) across epochs.
+    pub mean_utilization: f64,
+    /// Tenants resident when the run ended.
+    pub final_tenants: usize,
+}
+
+/// Aggregated results of one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Simulated run length.
+    pub window: SimDuration,
+    /// Per-node accumulation.
+    pub nodes: Vec<NodeReport>,
+    /// Fleet-wide frames per second (`Σ completed / window`).
+    pub total_fps: f64,
+    /// Fleet-wide deadline-miss rate.
+    pub dmr: f64,
+    /// Tenant arrivals offered to the dispatcher.
+    pub arrivals: u64,
+    /// Arrivals admitted immediately.
+    pub admitted: u64,
+    /// Arrivals the admission controller turned away at arrival time
+    /// for lack of capacity (they wait in the dispatch queue).
+    pub rejected: u64,
+    /// Arrivals dropped outright because they were latency-infeasible on
+    /// every node (no departure could ever make them fit).
+    pub infeasible: u64,
+    /// Queued tenants admitted later, after departures freed capacity.
+    pub admitted_after_wait: u64,
+    /// Tenants still waiting when the run ended.
+    pub still_queued: u64,
+    /// Tenant departures applied.
+    pub departures: u64,
+    /// Tenants migrated off overloaded nodes.
+    pub migrations: u64,
+    /// `(rejected + infeasible) / arrivals` (0 when nothing arrived).
+    pub rejection_rate: f64,
+    /// Histogram of per-node-per-epoch admission utilisation, 10 bins of
+    /// width 0.1 with the last bin catching ≥ 0.9.
+    pub utilization_histogram: [u64; UTILIZATION_BINS],
+}
+
+impl FleetMetrics {
+    /// Renders the metrics as pretty-printed JSON (hand-rolled: the
+    /// vendored serde stand-in has no serializer).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"window_secs\": {:.3},\n",
+            self.window.as_secs_f64()
+        ));
+        out.push_str(&format!("  \"total_fps\": {:.2},\n", self.total_fps));
+        out.push_str(&format!("  \"dmr\": {:.4},\n", self.dmr));
+        out.push_str(&format!("  \"arrivals\": {},\n", self.arrivals));
+        out.push_str(&format!("  \"admitted\": {},\n", self.admitted));
+        out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        out.push_str(&format!("  \"infeasible\": {},\n", self.infeasible));
+        out.push_str(&format!(
+            "  \"admitted_after_wait\": {},\n",
+            self.admitted_after_wait
+        ));
+        out.push_str(&format!("  \"still_queued\": {},\n", self.still_queued));
+        out.push_str(&format!("  \"departures\": {},\n", self.departures));
+        out.push_str(&format!("  \"migrations\": {},\n", self.migrations));
+        out.push_str(&format!(
+            "  \"rejection_rate\": {:.4},\n",
+            self.rejection_rate
+        ));
+        out.push_str("  \"utilization_histogram\": [");
+        for (i, b) in self.utilization_histogram.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\n");
+        out.push_str("  \"nodes\": [\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json_escape(&n.name)));
+            out.push_str(&format!("\"total_sms\": {}, ", n.total_sms));
+            out.push_str(&format!("\"fps\": {:.2}, ", n.fps));
+            out.push_str(&format!("\"dmr\": {:.4}, ", n.dmr));
+            out.push_str(&format!("\"released\": {}, ", n.released));
+            out.push_str(&format!("\"completed\": {}, ", n.completed));
+            out.push_str(&format!("\"missed\": {}, ", n.missed));
+            out.push_str(&format!(
+                "\"mean_utilization\": {:.4}, ",
+                n.mean_utilization
+            ));
+            out.push_str(&format!("\"final_tenants\": {}", n.final_tenants));
+            out.push('}');
+            if i + 1 < self.nodes.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Streaming accumulator: folds per-epoch [`RunMetrics`] and dispatch
+/// events into a [`FleetMetrics`].
+#[derive(Debug, Clone)]
+pub struct FleetMetricsBuilder {
+    names: Vec<String>,
+    sms: Vec<u32>,
+    released: Vec<u64>,
+    completed: Vec<u64>,
+    missed: Vec<u64>,
+    utilization_sum: Vec<f64>,
+    utilization_samples: Vec<u64>,
+    histogram: [u64; UTILIZATION_BINS],
+    pub(crate) arrivals: u64,
+    pub(crate) admitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) infeasible: u64,
+    pub(crate) admitted_after_wait: u64,
+    pub(crate) departures: u64,
+    pub(crate) migrations: u64,
+}
+
+impl FleetMetricsBuilder {
+    /// A builder for nodes with the given names and SM counts.
+    #[must_use]
+    pub fn new(names: Vec<String>, sms: Vec<u32>) -> Self {
+        let n = names.len();
+        assert_eq!(n, sms.len(), "one SM count per node");
+        FleetMetricsBuilder {
+            names,
+            sms,
+            released: vec![0; n],
+            completed: vec![0; n],
+            missed: vec![0; n],
+            utilization_sum: vec![0.0; n],
+            utilization_samples: vec![0; n],
+            histogram: [0; UTILIZATION_BINS],
+            arrivals: 0,
+            admitted: 0,
+            rejected: 0,
+            infeasible: 0,
+            admitted_after_wait: 0,
+            departures: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Folds one epoch's scheduler metrics for node `node`.
+    pub fn record_epoch(&mut self, node: usize, m: &RunMetrics) {
+        self.released[node] += m.released;
+        self.completed[node] += m.completed;
+        self.missed[node] += m.late + m.skipped + m.dropped;
+    }
+
+    /// Records a node's admission utilisation (demand/budget) for one
+    /// epoch.
+    pub fn record_utilization(&mut self, node: usize, utilization: f64) {
+        self.utilization_sum[node] += utilization;
+        self.utilization_samples[node] += 1;
+        let bin = ((utilization * UTILIZATION_BINS as f64) as usize).min(UTILIZATION_BINS - 1);
+        self.histogram[bin] += 1;
+    }
+
+    /// Finalises the fleet metrics for a run of length `window`, with
+    /// `final_tenants`/`still_queued` from the dispatcher's end state.
+    #[must_use]
+    pub fn finish(
+        self,
+        window: SimDuration,
+        final_tenants: &[usize],
+        still_queued: u64,
+    ) -> FleetMetrics {
+        let secs = window.as_secs_f64();
+        let nodes: Vec<NodeReport> = (0..self.names.len())
+            .map(|i| {
+                let released = self.released[i];
+                let missed = self.missed[i];
+                NodeReport {
+                    name: self.names[i].clone(),
+                    total_sms: self.sms[i],
+                    released,
+                    completed: self.completed[i],
+                    missed,
+                    fps: if secs > 0.0 {
+                        self.completed[i] as f64 / secs
+                    } else {
+                        0.0
+                    },
+                    dmr: if released > 0 {
+                        missed as f64 / released as f64
+                    } else {
+                        0.0
+                    },
+                    mean_utilization: if self.utilization_samples[i] > 0 {
+                        self.utilization_sum[i] / self.utilization_samples[i] as f64
+                    } else {
+                        0.0
+                    },
+                    final_tenants: final_tenants.get(i).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        let released: u64 = nodes.iter().map(|n| n.released).sum();
+        let completed: u64 = nodes.iter().map(|n| n.completed).sum();
+        let missed: u64 = nodes.iter().map(|n| n.missed).sum();
+        FleetMetrics {
+            window,
+            total_fps: if secs > 0.0 {
+                completed as f64 / secs
+            } else {
+                0.0
+            },
+            dmr: if released > 0 {
+                missed as f64 / released as f64
+            } else {
+                0.0
+            },
+            nodes,
+            arrivals: self.arrivals,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            infeasible: self.infeasible,
+            admitted_after_wait: self.admitted_after_wait,
+            still_queued,
+            departures: self.departures,
+            migrations: self.migrations,
+            rejection_rate: if self.arrivals > 0 {
+                (self.rejected + self.infeasible) as f64 / self.arrivals as f64
+            } else {
+                0.0
+            },
+            utilization_histogram: self.histogram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgprs_rt::SimTime;
+
+    fn run_metrics(released: u64, completed: u64, late: u64) -> RunMetrics {
+        let mut c = sgprs_core::MetricsCollector::new(vec!["t".into()], SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for i in 0..released {
+            t = SimTime::ZERO + SimDuration::from_millis(33 * (i + 1));
+            c.record_release(0, t);
+            if i < completed {
+                let fin = t + SimDuration::from_millis(10);
+                let deadline = if i < late {
+                    t + SimDuration::from_millis(5)
+                } else {
+                    t + SimDuration::from_millis(33)
+                };
+                c.record_completion(0, t, fin, deadline);
+            } else {
+                c.record_skip(0, t);
+            }
+        }
+        c.finish(t + SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn epochs_accumulate_into_totals() {
+        let mut b = FleetMetricsBuilder::new(vec!["a".into(), "b".into()], vec![68, 34]);
+        b.record_epoch(0, &run_metrics(10, 10, 0));
+        b.record_epoch(0, &run_metrics(10, 8, 2));
+        b.record_epoch(1, &run_metrics(5, 5, 0));
+        b.arrivals = 3;
+        b.admitted = 3;
+        let m = b.finish(SimDuration::from_secs(2), &[2, 1], 0);
+        assert_eq!(m.nodes[0].released, 20);
+        assert_eq!(m.nodes[0].completed, 18);
+        // 2 late + 2 skipped from the second epoch.
+        assert_eq!(m.nodes[0].missed, 4);
+        assert_eq!(m.nodes[1].completed, 5);
+        assert!((m.total_fps - 23.0 / 2.0).abs() < 1e-9);
+        assert_eq!(m.rejection_rate, 0.0);
+        assert_eq!(m.nodes[0].final_tenants, 2);
+    }
+
+    #[test]
+    fn histogram_bins_cover_the_unit_interval() {
+        let mut b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+        for u in [0.0, 0.05, 0.55, 0.95, 1.4] {
+            b.record_utilization(0, u);
+        }
+        let m = b.finish(SimDuration::from_secs(1), &[0], 0);
+        assert_eq!(m.utilization_histogram[0], 2);
+        assert_eq!(m.utilization_histogram[5], 1);
+        assert_eq!(m.utilization_histogram[9], 2, "overload lands in the top bin");
+        assert!((m.nodes[0].mean_utilization - 0.59).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut b = FleetMetricsBuilder::new(vec!["gpu\"0\"".into()], vec![68]);
+        b.arrivals = 2;
+        b.rejected = 1;
+        let m = b.finish(SimDuration::from_secs(1), &[1], 1);
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rejection_rate\": 0.5000"));
+        assert!(json.contains("gpu\\\"0\\\""), "names are escaped: {json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn empty_run_yields_zeroes() {
+        let b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+        let m = b.finish(SimDuration::from_secs(1), &[0], 0);
+        assert_eq!(m.total_fps, 0.0);
+        assert_eq!(m.dmr, 0.0);
+        assert_eq!(m.rejection_rate, 0.0);
+    }
+}

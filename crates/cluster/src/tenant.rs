@@ -1,0 +1,227 @@
+//! Tenants: node-independent descriptions of periodic inference services.
+//!
+//! A fleet cannot store [`sgprs_core::CompiledTask`]s directly: WCETs are
+//! profiled against a *specific* context pool, and a heterogeneous fleet
+//! has a different pool per node (and migration moves tenants between
+//! them). A [`TenantSpec`] is therefore the portable unit of work — model,
+//! frame rate, stage count — compiled on demand for whichever node it
+//! lands on.
+
+use serde::{Deserialize, Serialize};
+use sgprs_core::{offline, CompiledTask, ContextPoolSpec};
+use sgprs_dnn::{models, CostModel, Network};
+use sgprs_rt::SimDuration;
+
+/// The reference architectures a tenant can serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// ResNet-18 (the paper's evaluation network).
+    ResNet18,
+    /// ResNet-34 (≈2× the ResNet-18 work).
+    ResNet34,
+    /// VGG-16 (the heavyweight of the zoo).
+    Vgg16,
+    /// AlexNet (light, dominated by its linear head).
+    AlexNet,
+    /// MobileNet (depthwise-separable; the lightest).
+    MobileNet,
+}
+
+impl ModelKind {
+    /// Builds the network at batch 1 and the paper's 224×224 input.
+    #[must_use]
+    pub fn network(self) -> Network {
+        match self {
+            ModelKind::ResNet18 => models::resnet18(1, 224),
+            ModelKind::ResNet34 => models::resnet34(1, 224),
+            ModelKind::Vgg16 => models::vgg16(1, 224),
+            ModelKind::AlexNet => models::alexnet(1, 224),
+            ModelKind::MobileNet => models::mobilenet(1, 224),
+        }
+    }
+
+    /// Every model kind, in a stable order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::ResNet18,
+        ModelKind::ResNet34,
+        ModelKind::Vgg16,
+        ModelKind::AlexNet,
+        ModelKind::MobileNet,
+    ];
+
+    /// The whole-network work profile under the calibrated cost model,
+    /// computed once per process.
+    ///
+    /// Admission decisions consult the profile on every placement
+    /// attempt; rebuilding the layer graph each time would dominate the
+    /// dispatch hot path, so the five reference profiles are cached.
+    #[must_use]
+    pub fn work_profile(self) -> &'static sgprs_gpu_sim::WorkProfile {
+        use std::sync::OnceLock;
+        static PROFILES: OnceLock<Vec<sgprs_gpu_sim::WorkProfile>> = OnceLock::new();
+        let profiles = PROFILES.get_or_init(|| {
+            let cost = CostModel::calibrated();
+            ModelKind::ALL
+                .iter()
+                .map(|m| m.network().work_profile(&cost))
+                .collect()
+        });
+        let idx = ModelKind::ALL
+            .iter()
+            .position(|&m| m == self)
+            .expect("ALL covers every variant");
+        &profiles[idx]
+    }
+
+    /// Stable short name for reports and task labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::ResNet18 => "resnet18",
+            ModelKind::ResNet34 => "resnet34",
+            ModelKind::Vgg16 => "vgg16",
+            ModelKind::AlexNet => "alexnet",
+            ModelKind::MobileNet => "mobilenet",
+        }
+    }
+}
+
+impl core::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A periodic inference service as the dispatcher sees it: which model,
+/// how often, and how finely staged — independent of any GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Unique tenant name (the dispatcher keys on it).
+    pub name: String,
+    /// Served architecture.
+    pub model: ModelKind,
+    /// Frame rate in releases per second.
+    pub fps: f64,
+    /// Stage count for the offline split (6 in the paper).
+    pub stages: usize,
+}
+
+impl TenantSpec {
+    /// Creates a tenant serving `model` at `fps` frames per second with
+    /// the paper's six-stage split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not a positive finite number.
+    #[must_use]
+    pub fn new(name: impl Into<String>, model: ModelKind, fps: f64) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "fps must be positive, got {fps}");
+        TenantSpec {
+            name: name.into(),
+            model,
+            fps,
+            stages: 6,
+        }
+    }
+
+    /// Overrides the stage count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    #[must_use]
+    pub fn with_stages(mut self, stages: usize) -> Self {
+        assert!(stages > 0, "a tenant needs at least one stage");
+        self.stages = stages;
+        self
+    }
+
+    /// The release period implied by the frame rate.
+    #[must_use]
+    pub fn period(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.fps)
+    }
+
+    /// Single-SM work per inference in seconds (`T₁` of the fluid model):
+    /// the currency the admission controller budgets in.
+    #[must_use]
+    pub fn work_single_sm_secs(&self) -> f64 {
+        self.model.work_profile().total_single_sm_ns() / 1e9
+    }
+
+    /// Steady-state demand in SM-equivalents: `fps × T₁` — the number of
+    /// fully-utilised SMs this tenant consumes on an ideal fluid device.
+    #[must_use]
+    pub fn demand_sm_equivalents(&self) -> f64 {
+        self.fps * self.work_single_sm_secs()
+    }
+
+    /// Compiles the tenant for a concrete context pool (the offline
+    /// phase, run against the node the dispatcher chose).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model cannot be split into `self.stages` stages
+    /// (every reference network splits into at least nine).
+    #[must_use]
+    pub fn compile_for(&self, pool: &ContextPoolSpec) -> CompiledTask {
+        offline::compile_network_task(
+            &self.name,
+            &self.model.network(),
+            &CostModel::calibrated(),
+            self.stages,
+            self.period(),
+            pool,
+        )
+        .expect("reference networks split into small stage counts")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_scales_with_rate_and_model_weight() {
+        let light = TenantSpec::new("a", ModelKind::MobileNet, 30.0);
+        let heavy = TenantSpec::new("b", ModelKind::Vgg16, 30.0);
+        assert!(heavy.demand_sm_equivalents() > light.demand_sm_equivalents());
+        let faster = TenantSpec::new("c", ModelKind::MobileNet, 60.0);
+        let ratio = faster.demand_sm_equivalents() / light.demand_sm_equivalents();
+        assert!((ratio - 2.0).abs() < 1e-9, "demand is linear in fps: {ratio}");
+    }
+
+    #[test]
+    fn compile_for_profiles_against_the_pool() {
+        let tenant = TenantSpec::new("cam0", ModelKind::ResNet18, 30.0);
+        let small = tenant.compile_for(&ContextPoolSpec::new(3, 1.0));
+        let large = tenant.compile_for(&ContextPoolSpec::new(2, 2.0));
+        assert_eq!(small.stage_count(), 6);
+        // Smaller contexts ⇒ pessimistic (longer) profiled WCETs.
+        assert!(small.spec.wcet > large.spec.wcet);
+        assert_eq!(small.spec.period, tenant.period());
+    }
+
+    #[test]
+    fn every_model_kind_compiles() {
+        let pool = ContextPoolSpec::new(2, 1.5);
+        for model in [
+            ModelKind::ResNet18,
+            ModelKind::ResNet34,
+            ModelKind::Vgg16,
+            ModelKind::AlexNet,
+            ModelKind::MobileNet,
+        ] {
+            let t = TenantSpec::new(format!("t-{model}"), model, 15.0).with_stages(4);
+            let c = t.compile_for(&pool);
+            assert!(c.is_consistent(), "{model}");
+            assert_eq!(c.stage_count(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fps must be positive")]
+    fn zero_fps_panics() {
+        let _ = TenantSpec::new("t", ModelKind::ResNet18, 0.0);
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`sweep`] — runs a scenario across task counts (in parallel) and
 //!   extracts the paper's metrics: total FPS, DMR, and the *pivot point*.
 //! * [`fig1`] — regenerates the speedup-gain analysis of Figure 1.
+//! * [`fleet`] — multi-GPU fleet scenarios (heterogeneous devices, tenant
+//!   churn, placement-policy comparisons) over `sgprs-cluster`.
 //! * [`report`] — fixed-width tables and CSV for every figure.
 //! * [`generator`] — synthetic task-set generators (UUniFast, model mixes)
 //!   for extension experiments beyond the paper's identical-task setup.
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod fig1;
+pub mod fleet;
 pub mod generator;
 pub mod latency;
 pub mod report;
@@ -36,6 +39,7 @@ mod scenario;
 pub mod sensitivity;
 pub mod sweep;
 
+pub use fleet::{FleetScenario, TenantLoad};
 pub use scenario::{
     scenario1_variants, scenario2_variants, SchedulerKind, ScenarioSpec, PAPER_FPS,
     PAPER_STAGES,

@@ -1,0 +1,26 @@
+//! Fleet serving: a heterogeneous four-GPU fleet absorbing tenant churn
+//! behind admission control, printing fleet-level JSON metrics.
+//!
+//! This is the deployment §I of the paper motivates — many tenants,
+//! shifting populations — scaled past a single device: each node runs its
+//! own SGPRS scheduler and the dispatcher places, queues, and accounts
+//! tenants across the fleet.
+//!
+//! Run with: `cargo run --release --example fleet_serving`
+
+use sgprs_suite::workload::FleetScenario;
+
+fn main() {
+    let scenario = FleetScenario::heterogeneous_churn(6);
+    eprintln!("running `{}` for {} ...", scenario.label, scenario.sim);
+    let metrics = scenario.run();
+    println!("{}", metrics.to_json());
+    eprintln!(
+        "total FPS {:.1}, DMR {:.1}%, rejection rate {:.1}% ({} of {} arrivals)",
+        metrics.total_fps,
+        metrics.dmr * 100.0,
+        metrics.rejection_rate * 100.0,
+        metrics.rejected,
+        metrics.arrivals
+    );
+}

@@ -4,7 +4,24 @@
 //! `examples/` and the integration tests under `tests/` can use a single
 //! dependency. Library users should depend on the individual crates
 //! (`sgprs-core`, `sgprs-gpu-sim`, ...) directly.
+//!
+//! # Layer map
+//!
+//! * [`rt`] — simulated time, the periodic task model, EDF queues, and
+//!   classic schedulability analysis.
+//! * [`gpu_sim`] — the discrete-event GPU: contexts, prioritised
+//!   streams, calibrated speedup curves, contention, tracing.
+//! * [`dnn`] — the model zoo (ResNet18/34, VGG-16, AlexNet, MobileNet),
+//!   the cost model, and stage partitioning.
+//! * [`core`] — the SGPRS scheduler itself plus the naive and
+//!   reconfiguring baselines, with shared metrics.
+//! * [`cluster`] — the multi-GPU fleet: dispatching, utilisation-bound
+//!   admission control, placement policies, tenant churn, migration, and
+//!   fleet-level metrics.
+//! * [`workload`] — scenarios and sweeps reproducing the paper's figures
+//!   and the fleet-serving experiments beyond them.
 
+pub use sgprs_cluster as cluster;
 pub use sgprs_core as core;
 pub use sgprs_dnn as dnn;
 pub use sgprs_gpu_sim as gpu_sim;

@@ -1,0 +1,188 @@
+//! Offline stand-in for the subset of `criterion` the suite's benches use:
+//! [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a fixed warm-up followed by a
+//! timed batch, reporting the mean wall-clock time per iteration. That is
+//! enough to compare hot paths locally; it makes no statistical claims.
+
+use std::time::Instant;
+
+/// Number of warm-up iterations before timing starts.
+const WARMUP_ITERS: u32 = 3;
+/// Number of timed iterations per benchmark.
+const MEASURE_ITERS: u32 = 10;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// Times closures, mirroring `criterion::Bencher`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std::hint::black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / f64::from(MEASURE_ITERS);
+    }
+
+    fn report(&self, name: &str) {
+        if self.mean_ns >= 1e6 {
+            println!("{name:<50} {:>12.3} ms/iter", self.mean_ns / 1e6);
+        } else if self.mean_ns >= 1e3 {
+            println!("{name:<50} {:>12.3} us/iter", self.mean_ns / 1e3);
+        } else {
+            println!("{name:<50} {:>12.1} ns/iter", self.mean_ns);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as a benchmark over `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Runs `f` as a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name with a parameter value.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Runs every benchmark registered in this group."]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert_eq!(calls, WARMUP_ITERS + MEASURE_ITERS);
+    }
+
+    #[test]
+    fn groups_run_parameterised_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| {
+            b.iter(|| n * 2);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, implemented on
+//! `std::thread::scope` (stable since Rust 1.63, which post-dates the
+//! real crossbeam scope API the suite was written against).
+//!
+//! Only the surface the suite uses is provided: [`scope`] returning a
+//! `Result`, and [`Scope::spawn`] whose closure receives the scope again
+//! (crossbeam's signature, so nested spawns keep working).
+
+use std::any::Any;
+
+/// Error type carried by a failed [`scope`] (never produced here: panics
+/// in scoped threads propagate when `std::thread::scope` joins them).
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A scope handle that can spawn threads borrowing from the environment.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope so it can
+    /// spawn further threads, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Creates a scope in which threads may borrow non-`'static` data, joining
+/// them all before returning. Panics from scoped threads propagate on
+/// join, so the `Ok` wrapper mirrors crossbeam's API for callers that
+/// `.expect(...)` the result.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .expect("scope succeeds");
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawns_compile_and_run() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .expect("scope succeeds");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

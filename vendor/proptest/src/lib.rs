@@ -1,0 +1,316 @@
+//! Offline stand-in for the subset of `proptest` the suite uses.
+//!
+//! Supports the `proptest! { #![proptest_config(...)] #[test] fn f(x in
+//! strategy, ...) { ... } }` form with range strategies over integers and
+//! floats, tuples, `any::<T>()`, and `prop::collection::vec`. Cases are
+//! drawn from a deterministic per-test generator (seeded from the test
+//! name), so failures reproduce across runs. Shrinking is not
+//! implemented: a failing case panics with the usual assertion message,
+//! which is enough to diagnose the invariant that broke.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a sampled case does not satisfy
+/// the property's precondition; the case is silently discarded.
+#[derive(Debug)]
+pub struct CaseSkip;
+
+/// Deterministic per-test random source.
+#[derive(Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// A generator seeded from the test name, so every run of a given
+    /// property sees the same case sequence.
+    #[must_use]
+    pub fn for_case(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.random_f64()
+    }
+}
+
+/// A source of random values of one type, mirroring `proptest::Strategy`
+/// (generation only; no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Types with a canonical full-domain strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`, mirroring `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for vectors with random length and random elements.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// A vector strategy drawing lengths from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                self.size.clone().sample(rng)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest!` macro: declares property tests whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_case(::core::stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                // The closure is what lets `prop_assume!` early-return.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), $crate::CaseSkip> = (move || {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                let _ = (__case, __outcome);
+            }
+        }
+    )*};
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { ::core::assert!($($tt)+) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { ::core::assert_eq!($($tt)+) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { ::core::assert_ne!($($tt)+) };
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::CaseSkip);
+        }
+    };
+}
+
+/// The commonly imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_tuples_and_vecs_sample_in_bounds(
+            pairs in prop::collection::vec((0u8..8, 1.0f64..2.0), 1..10),
+            seed in any::<u64>(),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 10);
+            for (tag, x) in &pairs {
+                prop_assert!(*tag < 8);
+                prop_assert!((1.0..2.0).contains(x));
+            }
+            let _ = seed;
+        }
+
+        #[test]
+        fn assume_discards_cases(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::for_case("x");
+        let mut b = crate::TestRng::for_case("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

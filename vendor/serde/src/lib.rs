@@ -1,0 +1,7 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` keeps compiling without network access. See
+//! `vendor/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};
