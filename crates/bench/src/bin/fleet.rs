@@ -1,11 +1,12 @@
 //! **Fleet serving experiment** (beyond the paper): a multi-GPU fleet
 //! with admission control and tenant churn, comparing placement policies
 //! over both a homogeneous scale-out and the heterogeneous reference
-//! fleet.
+//! fleet, plus a 64-node flat-vs-sharded dispatch comparison. Every row
+//! carries the run's wall-clock so dispatch-layer changes show up.
 //!
 //! Usage: `cargo run --release -p sgprs-bench --bin fleet [--sim-secs N] [--csv]`
 
-use sgprs_cluster::PlacementPolicy;
+use sgprs_cluster::{FleetMetrics, PlacementPolicy};
 use sgprs_workload::FleetScenario;
 
 const POLICIES: [PlacementPolicy; 3] = [
@@ -14,19 +15,42 @@ const POLICIES: [PlacementPolicy; 3] = [
     PlacementPolicy::BestFit,
 ];
 
+fn report(scenario_label: &str, row_label: &str, m: &FleetMetrics, wall_ms: f64, csv: bool) {
+    if csv {
+        println!(
+            "{scenario_label},{row_label},{:.2},{:.4},{:.4},{},{wall_ms:.0}",
+            m.total_fps, m.dmr, m.rejection_rate, m.migrations
+        );
+    } else {
+        println!(
+            "{:<44} {:>10.1} {:>6.1}% {:>8.1}% {:>7} {:>7.0}",
+            row_label,
+            m.total_fps,
+            m.dmr * 100.0,
+            m.rejection_rate * 100.0,
+            m.still_queued,
+            wall_ms
+        );
+    }
+}
+
+fn header(title: &str) {
+    println!("== {title} ==");
+    println!(
+        "{:<44} {:>10} {:>7} {:>9} {:>7} {:>7}",
+        "scenario", "total FPS", "DMR", "rejected", "queued", "wall ms"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (sim_secs, csv) = sgprs_bench::parse_args(&args);
     let sim_secs = sim_secs.max(4);
 
     if csv {
-        println!("scenario,policy,total_fps,dmr,rejection_rate,migrations");
+        println!("scenario,policy,total_fps,dmr,rejection_rate,migrations,wall_ms");
     } else {
-        println!("== fleet serving: placement policies under churn ==");
-        println!(
-            "{:<44} {:>10} {:>7} {:>9} {:>7} {:>7}",
-            "scenario", "total FPS", "DMR", "rejected", "queued", "nodes"
-        );
+        header("fleet serving: placement policies under churn");
     }
 
     for base in [
@@ -35,27 +59,35 @@ fn main() {
     ] {
         for policy in POLICIES {
             let scenario = base.clone().with_placement(policy);
+            let started = std::time::Instant::now();
             let m = scenario.run();
-            if csv {
-                println!(
-                    "{},{policy},{:.2},{:.4},{:.4},{}",
-                    base.label, m.total_fps, m.dmr, m.rejection_rate, m.migrations
-                );
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let (scenario_label, row_label) = if csv {
+                (base.label.as_str(), format!("{policy}"))
             } else {
-                println!(
-                    "{:<44} {:>10.1} {:>6.1}% {:>8.1}% {:>7} {:>7}",
-                    scenario.label,
-                    m.total_fps,
-                    m.dmr * 100.0,
-                    m.rejection_rate * 100.0,
-                    m.still_queued,
-                    m.nodes.len()
-                );
-            }
+                (base.label.as_str(), scenario.label.clone())
+            };
+            report(scenario_label, &row_label, &m, wall_ms, csv);
         }
     }
     if !csv {
         println!();
         println!("least-utilization spreads skewed tenants; best-fit packs for big arrivals");
+        println!();
+        header("scale-out x64: flat vs sharded dispatch");
+    }
+    let sharded = FleetScenario::scale_out(64, sim_secs);
+    let mut flat = sharded.clone();
+    flat.sharding = None;
+    flat.label = format!("scale-out x{} + churn [flat]", flat.nodes.len());
+    for scenario in [flat, sharded] {
+        let started = std::time::Instant::now();
+        let m = scenario.run();
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let dispatch = match scenario.sharding {
+            Some(size) => format!("{}[sharded/{size}]", scenario.placement),
+            None => format!("{}[flat]", scenario.placement),
+        };
+        report(&scenario.label, &dispatch, &m, wall_ms, csv);
     }
 }

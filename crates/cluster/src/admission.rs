@@ -153,7 +153,6 @@ impl AdmissionController {
         node: &FleetNode,
         candidate: &TenantSpec,
     ) -> sgprs_rt::SimDuration {
-        let speedup = SpeedupModel::calibrated_rtx_2080_ti();
         let biggest = node
             .spec
             .pool()
@@ -161,12 +160,29 @@ impl AdmissionController {
             .into_iter()
             .max()
             .unwrap_or(0);
+        self.best_case_latency_at(biggest, node.spec.gpu.launch_overhead_ns, candidate)
+    }
+
+    /// [`Self::best_case_latency`] evaluated at an explicit context size
+    /// and launch overhead instead of a concrete node. Feeding it the
+    /// *largest* context allocation and *smallest* launch overhead found
+    /// across a group of nodes yields a sound lower bound over the whole
+    /// group — the shard router's cheap feasibility pre-filter.
+    #[must_use]
+    pub fn best_case_latency_at(
+        &self,
+        context_sms: u32,
+        launch_overhead_ns: u64,
+        candidate: &TenantSpec,
+    ) -> sgprs_rt::SimDuration {
+        let speedup = SpeedupModel::calibrated_rtx_2080_ti();
         let compute_ns = candidate
             .model
             .work_profile()
-            .duration_ns_at(&speedup, f64::from(biggest));
-        let overhead_ns = node.spec.gpu.launch_overhead_ns * candidate.stages as u64;
-        sgprs_rt::SimDuration::from_nanos(compute_ns as u64) + sgprs_rt::SimDuration::from_nanos(overhead_ns)
+            .duration_ns_at(&speedup, f64::from(context_sms));
+        let overhead_ns = launch_overhead_ns * candidate.stages as u64;
+        sgprs_rt::SimDuration::from_nanos(compute_ns as u64)
+            + sgprs_rt::SimDuration::from_nanos(overhead_ns)
     }
 
     /// Tests whether `candidate` fits on `node` alongside its resident

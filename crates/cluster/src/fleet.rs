@@ -17,14 +17,25 @@
 //! when an epoch ends are not counted as completed — with the default
 //! one-second epoch and the paper's 33 ms periods this truncation is
 //! under 3 % and affects every scheduler equally.
+//!
+//! Parallel-execution determinism: within one epoch the nodes are
+//! mutually independent — they share no simulator state, their compiled
+//! tasks are prepared before any node runs, and each node's jitter seed
+//! is a pure function of `(fleet seed, epoch index, node index)`. `run`
+//! therefore fans the per-node `run_epoch` calls out over scoped worker
+//! threads and folds the results back in ascending node index, so the
+//! resulting [`FleetMetrics`] is bit-identical to sequential execution
+//! ([`FleetConfig::sequential`] is the escape hatch): parallelism
+//! changes wall-clock time, never results.
 
+use crate::shard::ShardRouter;
 use crate::{
     AdmissionConfig, AdmissionController, ChurnEvent, ChurnTrace, FleetMetrics,
-    FleetMetricsBuilder, FleetNode, NodeSpec, Placer, PlacementPolicy, TenantSpec,
+    FleetMetricsBuilder, FleetNode, NodeSpec, Placer, PlacementPolicy, ShardConfig, TenantSpec,
 };
-use sgprs_core::CompiledTask;
+use sgprs_core::{CompiledTask, RunMetrics};
 use sgprs_rt::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Migration knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +70,11 @@ pub struct FleetConfig {
     pub migration: MigrationConfig,
     /// Base seed for the nodes' execution jitter.
     pub seed: u64,
+    /// Fan per-epoch node execution out over worker threads (results are
+    /// bit-identical either way; see the module docs).
+    pub parallel: bool,
+    /// Optional two-level sharded dispatch (see [`crate::ShardedFleet`]).
+    pub sharding: Option<ShardConfig>,
 }
 
 impl FleetConfig {
@@ -78,7 +94,30 @@ impl FleetConfig {
             epoch: SimDuration::from_secs(1),
             migration: MigrationConfig::default(),
             seed: 0x5672_5053,
+            parallel: true,
+            sharding: None,
         }
+    }
+
+    /// Disables the parallel per-epoch fan-out: nodes run one after
+    /// another on the calling thread. The escape hatch for debugging and
+    /// for determinism tests — metrics are bit-identical either way.
+    #[must_use]
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Enables two-level sharded dispatch with shards of `shard_size`
+    /// nodes (see [`crate::ShardedFleet`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size` is zero.
+    #[must_use]
+    pub fn with_sharding(mut self, shard_size: usize) -> Self {
+        self.sharding = Some(ShardConfig::new(shard_size));
+        self
     }
 
     /// Replaces the placement policy.
@@ -118,6 +157,12 @@ pub enum DispatchOutcome {
     /// fit, so it is dropped rather than queued (queueing it would block
     /// the FIFO queue's head forever).
     Infeasible,
+    /// A tenant with the same name is already active (resident or
+    /// queued). Names key removal, migration, and release phases, so the
+    /// dispatcher enforces the uniqueness contract documented on
+    /// [`TenantSpec::name`] instead of letting a later `remove` delete
+    /// the wrong instance and leave a resident ghost.
+    Duplicate,
 }
 
 /// A simulated multi-GPU fleet with admission control, load balancing,
@@ -134,15 +179,30 @@ pub struct Fleet {
     pending_phase: HashMap<String, SimDuration>,
     /// Compiled-task cache keyed by (model, stages, period ns, node).
     compiled: HashMap<(crate::ModelKind, usize, u64, usize), CompiledTask>,
+    /// Names of active tenants (resident or queued), enforcing the
+    /// uniqueness contract of [`TenantSpec::name`].
+    active: HashSet<String>,
+    /// Two-level dispatch router, present when sharding is configured.
+    router: Option<ShardRouter>,
 }
 
 impl Fleet {
     /// Builds an empty fleet from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.nodes` is empty (possible despite the check in
+    /// [`FleetConfig::new`], since the config's fields are public).
     #[must_use]
     pub fn new(cfg: FleetConfig) -> Self {
-        let nodes = cfg.nodes.iter().cloned().map(FleetNode::new).collect();
+        assert!(!cfg.nodes.is_empty(), "a fleet needs at least one node");
+        let nodes: Vec<FleetNode> = cfg.nodes.iter().cloned().map(FleetNode::new).collect();
         let placer = Placer::new(cfg.placement);
         let admission = AdmissionController::new(cfg.admission.clone());
+        let router = cfg
+            .sharding
+            .as_ref()
+            .map(|shard| ShardRouter::new(nodes.len(), shard));
         Fleet {
             cfg,
             nodes,
@@ -151,6 +211,8 @@ impl Fleet {
             queue: VecDeque::new(),
             pending_phase: HashMap::new(),
             compiled: HashMap::new(),
+            active: HashSet::new(),
+            router,
         }
     }
 
@@ -172,13 +234,57 @@ impl Fleet {
         &self.admission
     }
 
+    /// The shard router, when sharding is configured.
+    pub(crate) fn router(&self) -> Option<&ShardRouter> {
+        self.router.as_ref()
+    }
+
+    /// Chooses a node for `tenant` without committing the placement —
+    /// the per-arrival hot path the placement benches measure. Flat
+    /// fleets scan every node through the placement policy; sharded
+    /// fleets route to a shard first (O(shards + nodes/shard) in the
+    /// common case) and fall back shard by shard when summaries prove
+    /// stale.
+    #[must_use]
+    pub fn plan(&mut self, tenant: &TenantSpec) -> Option<usize> {
+        match self.router.as_mut() {
+            Some(router) => {
+                for shard in router.route(&self.nodes, &self.admission, tenant) {
+                    let range = router.range(shard);
+                    if let Some(rel) =
+                        self.placer
+                            .place(&self.nodes[range.clone()], tenant, &self.admission)
+                    {
+                        return Some(range.start + rel);
+                    }
+                }
+                None
+            }
+            None => self.placer.place(&self.nodes, tenant, &self.admission),
+        }
+    }
+
+    /// Makes `tenant` resident on node `idx`, keeping the active-name
+    /// set and the shard summaries in sync.
+    fn commit(&mut self, idx: usize, tenant: TenantSpec) {
+        if let Some(router) = self.router.as_mut() {
+            router.note_place(idx, tenant.demand_sm_equivalents());
+        }
+        self.active.insert(tenant.name.clone());
+        self.nodes[idx].tenants.push(tenant);
+    }
+
     /// Offers `tenant` to the placement policy: on success the tenant
     /// becomes resident; when merely over capacity it joins the wait
-    /// queue; when latency-infeasible on every node it is dropped.
+    /// queue; when latency-infeasible on every node it is dropped; when
+    /// its name is already active it is rejected as a duplicate.
     pub fn dispatch(&mut self, tenant: TenantSpec) -> DispatchOutcome {
-        match self.placer.place(&self.nodes, &tenant, &self.admission) {
+        if self.active.contains(&tenant.name) {
+            return DispatchOutcome::Duplicate;
+        }
+        match self.plan(&tenant) {
             Some(idx) => {
-                self.nodes[idx].tenants.push(tenant);
+                self.commit(idx, tenant);
                 DispatchOutcome::Placed(idx)
             }
             None => {
@@ -189,6 +295,7 @@ impl Fleet {
                     self.admission.best_case_latency(node, &tenant) <= tenant.period()
                 });
                 if feasible_somewhere {
+                    self.active.insert(tenant.name.clone());
                     self.queue.push_back(tenant);
                     DispatchOutcome::Queued
                 } else {
@@ -199,16 +306,23 @@ impl Fleet {
     }
 
     /// Removes the named tenant wherever it lives (node or queue).
-    /// Returns `true` when something was removed.
+    /// Returns `true` when something was removed. Under the uniqueness
+    /// contract of [`TenantSpec::name`] (enforced by [`Self::dispatch`])
+    /// at most one active tenant can match.
     pub fn remove(&mut self, name: &str) -> bool {
-        for node in &mut self.nodes {
-            if let Some(pos) = node.tenants.iter().position(|t| t.name == name) {
-                node.tenants.remove(pos);
+        for idx in 0..self.nodes.len() {
+            if let Some(pos) = self.nodes[idx].tenants.iter().position(|t| t.name == name) {
+                self.nodes[idx].tenants.remove(pos);
+                self.active.remove(name);
+                if let Some(router) = self.router.as_mut() {
+                    router.invalidate_node(idx);
+                }
                 return true;
             }
         }
         if let Some(pos) = self.queue.iter().position(|t| t.name == name) {
             self.queue.remove(pos);
+            self.active.remove(name);
             return true;
         }
         false
@@ -218,13 +332,19 @@ impl Fleet {
     /// admitted. Stops at the first tenant that still does not fit, so
     /// the queue stays fair (no overtaking).
     pub fn drain_queue(&mut self) -> u64 {
-        let mut admitted = 0;
-        while let Some(front) = self.queue.front() {
-            match self.placer.place(&self.nodes, front, &self.admission) {
+        self.drain_queue_names().len() as u64
+    }
+
+    /// [`Self::drain_queue`], reporting the admitted tenants' names so
+    /// `run` can attribute each admission to the right deferral.
+    fn drain_queue_names(&mut self) -> Vec<String> {
+        let mut admitted = Vec::new();
+        while let Some(front) = self.queue.front().cloned() {
+            match self.plan(&front) {
                 Some(idx) => {
                     let tenant = self.queue.pop_front().expect("front exists");
-                    self.nodes[idx].tenants.push(tenant);
-                    admitted += 1;
+                    admitted.push(tenant.name.clone());
+                    self.commit(idx, tenant);
                 }
                 None => break,
             }
@@ -262,6 +382,12 @@ impl Fleet {
             self.nodes.iter().map(|n| n.spec.name.clone()).collect(),
             self.nodes.iter().map(|n| n.spec.gpu.total_sms).collect(),
         );
+        let workers = epoch_workers(self.cfg.parallel);
+        // Tenants already waiting when `run` starts are not this run's
+        // deferrals: their later admission must not offset the eventual-
+        // rejection count of arrivals deferred *by this run*.
+        let mut pre_run_queued: HashSet<String> =
+            self.queue.iter().map(|t| t.name.clone()).collect();
         let mut events = VecDeque::from(trace.into_sorted());
         let mut epoch_start = SimTime::ZERO;
         let end = SimTime::ZERO + horizon;
@@ -280,7 +406,11 @@ impl Fleet {
                 }
             }
             // The departures may have freed room for queued tenants.
-            builder.admitted_after_wait += self.drain_queue();
+            for name in self.drain_queue_names() {
+                if !pre_run_queued.remove(&name) {
+                    builder.admitted_after_wait += 1;
+                }
+            }
             // 1b. Apply churn falling inside this epoch.
             while let Some((at, _)) = events.front() {
                 if *at >= epoch_end {
@@ -296,15 +426,20 @@ impl Fleet {
                                 builder.admitted += 1;
                                 self.pending_phase.insert(tenant.name, phase);
                             }
-                            DispatchOutcome::Queued => builder.rejected += 1,
+                            DispatchOutcome::Queued => builder.deferred += 1,
                             DispatchOutcome::Infeasible => builder.infeasible += 1,
+                            DispatchOutcome::Duplicate => builder.duplicates += 1,
                         }
                     }
                     ChurnEvent::Departure(name) => deferred_departures.push(name),
                 }
             }
-            // 2. Sample utilisation, then run every non-empty node.
+            // 2. Sample utilisation and prepare each non-empty node's
+            // compiled tasks. Preparation needs `&mut self` (the compile
+            // cache), so it runs before the fan-out, which only reads
+            // `&self.nodes`.
             let mut epoch_dmr: Vec<f64> = vec![0.0; self.nodes.len()];
+            let mut jobs: Vec<NodeEpochJob> = Vec::new();
             // Indexing (not iterating `self.nodes`) because the body
             // needs `&mut self` for the compiled-task cache.
             #[allow(clippy::needless_range_loop)]
@@ -336,13 +471,18 @@ impl Fleet {
                     .seed
                     .wrapping_add(epoch_index.wrapping_mul(0x9E37_79B9))
                     .wrapping_add(idx as u64);
-                let m = self.nodes[idx].spec.run_epoch(tasks, epoch_len, seed);
+                jobs.push(NodeEpochJob { idx, tasks, seed });
+            }
+            self.pending_phase.clear();
+            // Nodes are independent within an epoch: fan out, then fold
+            // in ascending node index so the metrics are bit-identical
+            // to the sequential path.
+            for (idx, m) in run_node_epochs(&self.nodes, jobs, epoch_len, workers) {
                 if m.released > 0 {
                     epoch_dmr[idx] = (m.late + m.skipped + m.dropped) as f64 / m.released as f64;
                 }
                 builder.record_epoch(idx, &m);
             }
-            self.pending_phase.clear();
             // 3. Shed load from nodes that missed too much this epoch.
             if self.cfg.migration.enabled {
                 builder.migrations += self.migrate_overloaded(&epoch_dmr);
@@ -356,6 +496,12 @@ impl Fleet {
                 builder.departures += 1;
             }
         }
+        // Rejections are *eventual* outcomes: a deferred arrival that was
+        // never admitted later — still queued at the end, or departed
+        // while waiting — never got served. `admitted_after_wait` counts
+        // only this run's deferrals (pre-run queue admissions are
+        // filtered above), so it never exceeds `deferred`.
+        builder.rejected = builder.deferred - builder.admitted_after_wait;
         let final_tenants: Vec<usize> = self.nodes.iter().map(|n| n.tenants.len()).collect();
         builder.finish(horizon, &final_tenants, self.queue.len() as u64)
     }
@@ -375,10 +521,15 @@ impl Fleet {
             let Some(tenant) = self.nodes[idx].tenants.pop() else {
                 continue;
             };
-            // Choose among the *other* nodes only.
+            // Choose among the *other* nodes only, excluding any that
+            // crossed the miss-rate threshold themselves this epoch:
+            // admission alone would happily bounce a tenant between two
+            // hot nodes forever (utilisation looks fine on both while
+            // both keep missing deadlines).
             let moved = {
                 let candidate_idx = (0..self.nodes.len())
                     .filter(|&j| j != idx)
+                    .filter(|&j| epoch_dmr[j] <= self.cfg.migration.dmr_threshold)
                     .filter(|&j| self.admission.evaluate(&self.nodes[j], &tenant).is_admit())
                     .min_by(|&a, &b| {
                         let load = |j: usize| {
@@ -394,6 +545,10 @@ impl Fleet {
                 match candidate_idx {
                     Some(j) => {
                         self.nodes[j].tenants.push(tenant.clone());
+                        if let Some(router) = self.router.as_mut() {
+                            router.invalidate_node(idx);
+                            router.invalidate_node(j);
+                        }
                         true
                     }
                     None => false,
@@ -408,6 +563,77 @@ impl Fleet {
         }
         migrations
     }
+}
+
+/// One node's prepared work for an epoch: the compiled tasks (with their
+/// release phases applied) and the node's jitter seed.
+struct NodeEpochJob {
+    idx: usize,
+    tasks: Vec<CompiledTask>,
+    seed: u64,
+}
+
+impl NodeEpochJob {
+    fn run(self, nodes: &[FleetNode], epoch_len: SimDuration) -> (usize, RunMetrics) {
+        let m = nodes[self.idx].spec.run_epoch(self.tasks, epoch_len, self.seed);
+        (self.idx, m)
+    }
+}
+
+/// Worker-thread count for the per-epoch fan-out: every available core
+/// when `parallel`, one otherwise.
+fn epoch_workers(parallel: bool) -> usize {
+    if parallel {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        1
+    }
+}
+
+/// Runs the prepared per-node epoch jobs — over `workers` scoped worker
+/// threads when more than one — and returns `(node index, metrics)`
+/// pairs sorted by node index, so folding them is deterministic
+/// regardless of the execution strategy.
+fn run_node_epochs(
+    nodes: &[FleetNode],
+    jobs: Vec<NodeEpochJob>,
+    epoch_len: SimDuration,
+    workers: usize,
+) -> Vec<(usize, RunMetrics)> {
+    let workers = workers.min(jobs.len());
+    let mut results: Vec<(usize, RunMetrics)> = if workers <= 1 {
+        jobs.into_iter().map(|job| job.run(nodes, epoch_len)).collect()
+    } else {
+        // Partition the node indices round-robin across the workers; each
+        // worker hands its (idx, metrics) pairs back through its join
+        // handle, so no locks are involved.
+        let mut buckets: Vec<Vec<NodeEpochJob>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            buckets[i % workers].push(job);
+        }
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move |_| {
+                        bucket
+                            .into_iter()
+                            .map(|job| job.run(nodes, epoch_len))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("node epoch workers never panic"))
+                .collect()
+        })
+        .expect("epoch worker scope never fails")
+    };
+    results.sort_by_key(|&(idx, _)| idx);
+    results
 }
 
 #[cfg(test)]
@@ -437,7 +663,9 @@ mod tests {
             match fleet.dispatch(tenant(i)) {
                 DispatchOutcome::Placed(_) => placed += 1,
                 DispatchOutcome::Queued => queued += 1,
-                DispatchOutcome::Infeasible => panic!("resnet18@30fps is feasible"),
+                DispatchOutcome::Infeasible | DispatchOutcome::Duplicate => {
+                    panic!("resnet18@30fps with a fresh name always dispatches")
+                }
             }
         }
         assert!(placed >= 45, "3 GPUs take ≥ 15 tenants each, got {placed}");
@@ -505,7 +733,9 @@ mod tests {
             match fleet.dispatch(t) {
                 DispatchOutcome::Placed(_) => names.push(name),
                 DispatchOutcome::Queued => break,
-                DispatchOutcome::Infeasible => panic!("resnet18@30fps is feasible"),
+                DispatchOutcome::Infeasible | DispatchOutcome::Duplicate => {
+                    panic!("resnet18@30fps with a fresh name always dispatches")
+                }
             }
             i += 1;
         }
@@ -561,6 +791,160 @@ mod tests {
     }
 
     #[test]
+    fn queued_then_admitted_tenants_are_not_rejections() {
+        // Regression: `rejection_rate` used to count a queued-then-
+        // admitted tenant as rejected forever. Saturate one small node,
+        // queue one extra arrival, then free room with a departure: the
+        // waiter is admitted and must not appear as a rejection.
+        let cfg = || FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))]);
+        let mut scratch = Fleet::new(cfg());
+        let mut fit = 0;
+        while matches!(scratch.dispatch(tenant(fit)), DispatchOutcome::Placed(_)) {
+            fit += 1;
+        }
+        assert!(fit >= 2, "a 23-SM node takes a few tenants");
+        let mut trace = ChurnTrace::new();
+        for i in 0..=fit {
+            trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(i)));
+        }
+        trace.push(
+            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(500),
+            crate::ChurnEvent::Departure(tenant(0).name),
+        );
+        let mut fleet = Fleet::new(cfg());
+        let m = fleet.run(trace, SimDuration::from_secs(3));
+        assert_eq!(m.arrivals as usize, fit + 1);
+        assert_eq!(m.deferred, 1, "one arrival had to wait");
+        assert_eq!(m.admitted_after_wait, 1, "and got in after the departure");
+        assert_eq!(m.rejected, 0, "eventual admission is not a rejection: {m:?}");
+        assert_eq!(m.rejection_rate, 0.0);
+        assert_eq!(m.still_queued, 0);
+    }
+
+    #[test]
+    fn pre_run_queue_admissions_do_not_mask_in_run_rejections() {
+        // Regression: a tenant queued via `dispatch` *before* `run` and
+        // admitted mid-run used to cancel out one genuinely-rejected
+        // in-run deferral in the eventual accounting.
+        let mut fleet = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
+            "small",
+            GpuSpec::synthetic(23),
+        )]));
+        let mut i = 0;
+        let resident = loop {
+            match fleet.dispatch(tenant(i)) {
+                DispatchOutcome::Placed(_) => i += 1,
+                DispatchOutcome::Queued => break i,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(fleet.queued(), 1, "tenant {resident} waits pre-run");
+        let mut trace = ChurnTrace::new();
+        // An in-run arrival that must also wait, behind the pre-run one…
+        trace.push(
+            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(200),
+            crate::ChurnEvent::Arrival(tenant(resident + 1)),
+        );
+        // …and one departure, freeing room for exactly one of them.
+        trace.push(
+            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(500),
+            crate::ChurnEvent::Departure(tenant(0).name),
+        );
+        let m = fleet.run(trace, SimDuration::from_secs(3));
+        assert_eq!(m.deferred, 1, "the in-run arrival waited");
+        assert_eq!(
+            m.admitted_after_wait, 0,
+            "the freed slot went to the pre-run tenant, which is not this run's deferral"
+        );
+        assert_eq!(m.rejected, 1, "the in-run arrival was never served: {m:?}");
+        assert_eq!(m.still_queued, 1);
+    }
+
+    #[test]
+    fn still_waiting_arrivals_do_count_as_rejections() {
+        // The flip side: with no departures the deferred tenant never
+        // gets in, and the eventual accounting reports it rejected.
+        let cfg = FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))]);
+        let mut scratch = Fleet::new(cfg.clone());
+        let mut fit = 0;
+        while matches!(scratch.dispatch(tenant(fit)), DispatchOutcome::Placed(_)) {
+            fit += 1;
+        }
+        let trace = ChurnTrace::static_population((0..=fit).map(tenant));
+        let m = Fleet::new(cfg).run(trace, SimDuration::from_secs(2));
+        assert_eq!(m.deferred, 1);
+        assert_eq!(m.admitted_after_wait, 0);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.still_queued, 1);
+        assert!((m.rejection_rate - 1.0 / (fit as f64 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_active_names_are_rejected() {
+        let mut fleet = Fleet::new(three_node_fleet());
+        assert!(matches!(fleet.dispatch(tenant(0)), DispatchOutcome::Placed(_)));
+        assert_eq!(fleet.dispatch(tenant(0)), DispatchOutcome::Duplicate);
+        let resident: usize = fleet.nodes().iter().map(|n| n.tenants.len()).sum();
+        assert_eq!(resident, 1, "no ghost twin was placed");
+        // Departure frees the name for reuse.
+        assert!(fleet.remove(&tenant(0).name));
+        assert!(matches!(fleet.dispatch(tenant(0)), DispatchOutcome::Placed(_)));
+        // Queued names are active too: a duplicate of a waiting tenant
+        // would equally confuse removal.
+        let mut small = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
+            "small",
+            GpuSpec::synthetic(23),
+        )]));
+        let mut i = 0;
+        while matches!(small.dispatch(tenant(i)), DispatchOutcome::Placed(_)) {
+            i += 1;
+        }
+        assert_eq!(small.queued(), 1, "tenant {i} waits");
+        assert_eq!(small.dispatch(tenant(i)), DispatchOutcome::Duplicate);
+    }
+
+    #[test]
+    fn duplicate_arrivals_in_a_trace_are_counted_not_served() {
+        let mut fleet = Fleet::new(three_node_fleet());
+        let mut trace = ChurnTrace::new();
+        trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(1)));
+        trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(1)));
+        let m = fleet.run(trace, SimDuration::from_secs(1));
+        assert_eq!(m.arrivals, 2);
+        assert_eq!(m.admitted, 1);
+        assert_eq!(m.duplicates, 1);
+        assert_eq!(m.rejection_rate, 0.0, "duplicates are not capacity rejections");
+        let resident: usize = fleet.nodes().iter().map(|n| n.tenants.len()).sum();
+        assert_eq!(resident, 1);
+    }
+
+    #[test]
+    fn parallel_and_sequential_epochs_are_bit_identical() {
+        // Heterogeneous devices *and* schedulers under churn plus
+        // migration — the worst case for accidental order dependence.
+        let nodes = || {
+            vec![
+                NodeSpec::sgprs("a", GpuSpec::rtx_2080_ti()),
+                NodeSpec::sgprs("b", GpuSpec::synthetic(34)).with_scheduler(NodeScheduler::Naive),
+                NodeSpec::sgprs("c", GpuSpec::synthetic(23)),
+            ]
+        };
+        let run_with = |cfg: FleetConfig| {
+            let churn = ChurnConfig {
+                mean_interarrival: SimDuration::from_millis(120),
+                ..ChurnConfig::default()
+            };
+            let horizon = SimDuration::from_secs(4);
+            let trace = ChurnTrace::generate(&churn, horizon, 17);
+            Fleet::new(cfg).run(trace, horizon)
+        };
+        let par = run_with(FleetConfig::new(nodes()).with_migration(0.1));
+        let seq = run_with(FleetConfig::new(nodes()).with_migration(0.1).sequential());
+        assert_eq!(par, seq, "parallelism must never change results");
+        assert_eq!(par.to_json(), seq.to_json());
+    }
+
+    #[test]
     fn migration_moves_load_off_an_overloaded_node() {
         // Two nodes, round-robin placement is blind to the size gap, so
         // the small node overloads and migration must bail it out.
@@ -585,6 +969,81 @@ mod tests {
             !fleet.nodes()[1].tenants.is_empty(),
             "the big node absorbed it"
         );
+    }
+
+    #[test]
+    fn forced_multi_worker_fanout_matches_inline_execution() {
+        // `available_parallelism()` is 1 in small CI containers, which
+        // would leave the scoped-thread path untested: drive
+        // `run_node_epochs` with an explicit worker count instead.
+        let nodes: Vec<FleetNode> = three_node_fleet()
+            .nodes
+            .into_iter()
+            .map(FleetNode::new)
+            .collect();
+        let jobs = || -> Vec<NodeEpochJob> {
+            (0..nodes.len())
+                .map(|idx| NodeEpochJob {
+                    idx,
+                    tasks: (0..3)
+                        .map(|j| tenant(idx * 3 + j).compile_for(&nodes[idx].spec.pool()))
+                        .collect(),
+                    seed: 42 + idx as u64,
+                })
+                .collect()
+        };
+        let epoch = SimDuration::from_secs(1);
+        let inline = run_node_epochs(&nodes, jobs(), epoch, 1);
+        let fanned = run_node_epochs(&nodes, jobs(), epoch, 4);
+        assert_eq!(inline.len(), nodes.len());
+        assert!(inline.iter().all(|(_, m)| m.released > 0));
+        assert_eq!(inline, fanned, "thread count must never change results");
+    }
+
+    #[test]
+    fn migration_never_targets_a_node_over_the_dmr_threshold() {
+        // Regression: the destination filter used to check admission
+        // only. A naive-scheduler node sized well under its *fluid*
+        // budget still misses deadlines (the budget is calibrated for
+        // SGPRS), so admission would happily accept a migrant onto a
+        // node that is itself hot — and two such nodes ping-pong the
+        // same tenant forever. Destinations past the DMR threshold are
+        // now excluded.
+        let cfg = FleetConfig::new(vec![
+            NodeSpec::sgprs("src", GpuSpec::synthetic(16)),
+            NodeSpec::sgprs("hot-dest", GpuSpec::rtx_2080_ti())
+                .with_scheduler(NodeScheduler::Naive),
+        ])
+        .with_migration(0.05);
+        let mut fleet = Fleet::new(cfg);
+        // Overload the small source node outright.
+        for i in 0..6 {
+            fleet.nodes[0].tenants.push(tenant(i));
+        }
+        // Load the naive node under its admission budget but past what
+        // it can actually serve.
+        for i in 6..24 {
+            fleet.nodes[1].tenants.push(tenant(i));
+        }
+        let migrant = fleet.nodes[0].tenants.last().cloned().expect("loaded");
+        assert!(
+            fleet
+                .admission()
+                .evaluate(&fleet.nodes()[1], &migrant)
+                .is_admit(),
+            "the destination must look admissible (that is the trap)"
+        );
+        let m = fleet.run(ChurnTrace::new(), SimDuration::from_secs(3));
+        assert!(
+            m.nodes[1].dmr > 0.05,
+            "the naive node must actually be hot: {m:?}"
+        );
+        assert_eq!(
+            m.migrations, 0,
+            "no tenant may migrate onto a node over the DMR threshold: {m:?}"
+        );
+        assert_eq!(fleet.nodes()[0].tenants.len(), 6, "source population intact");
+        assert_eq!(fleet.nodes()[1].tenants.len(), 18, "destination untouched");
     }
 
     #[test]

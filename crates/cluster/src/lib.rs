@@ -23,7 +23,13 @@
 //! * [`ChurnTrace`] / [`ChurnConfig`] — deterministic arrival/departure
 //!   traces driven by [`sgprs_rt::SimTime`].
 //! * [`Fleet`] / [`FleetConfig`] — the epoch-driven dispatcher, with
-//!   optional migration off overloaded nodes.
+//!   optional migration off overloaded nodes. Per-epoch node execution
+//!   fans out over scoped worker threads with bit-identical metrics
+//!   (see the determinism contract in the `fleet` module docs).
+//! * [`ShardedFleet`] / [`ShardConfig`] — two-level dispatch: cached
+//!   per-shard capacity summaries route each arrival to a shard, the
+//!   placement policy runs inside it — O(shards + nodes/shard) instead
+//!   of O(nodes) per arrival.
 //! * [`FleetMetrics`] — per-node and fleet-level FPS, miss rate,
 //!   rejection rate, and a utilisation histogram, aggregated from the
 //!   nodes' [`sgprs_core::RunMetrics`] and rendered as JSON.
@@ -61,11 +67,13 @@ mod fleet;
 mod metrics;
 mod node;
 mod placement;
+mod shard;
 mod tenant;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
 pub use churn::{ChurnConfig, ChurnEvent, ChurnTrace};
 pub use fleet::{DispatchOutcome, Fleet, FleetConfig, MigrationConfig};
+pub use shard::{ShardConfig, ShardedFleet};
 pub use metrics::{FleetMetrics, FleetMetricsBuilder, NodeReport, UTILIZATION_BINS};
 pub use node::{FleetNode, NodeScheduler, NodeSpec};
 pub use placement::{Placer, PlacementPolicy};

@@ -51,12 +51,21 @@ pub struct FleetMetrics {
     pub arrivals: u64,
     /// Arrivals admitted immediately.
     pub admitted: u64,
-    /// Arrivals the admission controller turned away at arrival time
-    /// for lack of capacity (they wait in the dispatch queue).
+    /// Arrivals that never became resident: they were deferred to the
+    /// wait queue for lack of capacity and no departure ever let them in
+    /// (an *eventual* outcome, not the at-arrival snapshot — see
+    /// [`FleetMetrics::deferred`] for how many merely waited).
     pub rejected: u64,
     /// Arrivals dropped outright because they were latency-infeasible on
     /// every node (no departure could ever make them fit).
     pub infeasible: u64,
+    /// Arrivals that could not be placed immediately and entered the
+    /// wait queue, regardless of whether they were admitted later.
+    pub deferred: u64,
+    /// Arrivals rejected because a tenant with the same name was already
+    /// active (resident or queued); see the uniqueness contract on
+    /// [`crate::TenantSpec::name`].
+    pub duplicates: u64,
     /// Queued tenants admitted later, after departures freed capacity.
     pub admitted_after_wait: u64,
     /// Tenants still waiting when the run ended.
@@ -65,7 +74,9 @@ pub struct FleetMetrics {
     pub departures: u64,
     /// Tenants migrated off overloaded nodes.
     pub migrations: u64,
-    /// `(rejected + infeasible) / arrivals` (0 when nothing arrived).
+    /// `(rejected + infeasible) / arrivals` (0 when nothing arrived),
+    /// where `rejected` counts *eventual* outcomes: a tenant that queued
+    /// and was later admitted is not a rejection.
     pub rejection_rate: f64,
     /// Histogram of per-node-per-epoch admission utilisation, 10 bins of
     /// width 0.1 with the last bin catching ≥ 0.9.
@@ -89,6 +100,8 @@ impl FleetMetrics {
         out.push_str(&format!("  \"admitted\": {},\n", self.admitted));
         out.push_str(&format!("  \"rejected\": {},\n", self.rejected));
         out.push_str(&format!("  \"infeasible\": {},\n", self.infeasible));
+        out.push_str(&format!("  \"deferred\": {},\n", self.deferred));
+        out.push_str(&format!("  \"duplicates\": {},\n", self.duplicates));
         out.push_str(&format!(
             "  \"admitted_after_wait\": {},\n",
             self.admitted_after_wait
@@ -166,6 +179,8 @@ pub struct FleetMetricsBuilder {
     pub(crate) admitted: u64,
     pub(crate) rejected: u64,
     pub(crate) infeasible: u64,
+    pub(crate) deferred: u64,
+    pub(crate) duplicates: u64,
     pub(crate) admitted_after_wait: u64,
     pub(crate) departures: u64,
     pub(crate) migrations: u64,
@@ -190,6 +205,8 @@ impl FleetMetricsBuilder {
             admitted: 0,
             rejected: 0,
             infeasible: 0,
+            deferred: 0,
+            duplicates: 0,
             admitted_after_wait: 0,
             departures: 0,
             migrations: 0,
@@ -271,6 +288,8 @@ impl FleetMetricsBuilder {
             admitted: self.admitted,
             rejected: self.rejected,
             infeasible: self.infeasible,
+            deferred: self.deferred,
+            duplicates: self.duplicates,
             admitted_after_wait: self.admitted_after_wait,
             still_queued,
             departures: self.departures,
@@ -348,10 +367,14 @@ mod tests {
         let mut b = FleetMetricsBuilder::new(vec!["gpu\"0\"".into()], vec![68]);
         b.arrivals = 2;
         b.rejected = 1;
+        b.deferred = 1;
+        b.duplicates = 3;
         let m = b.finish(SimDuration::from_secs(1), &[1], 1);
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"rejection_rate\": 0.5000"));
+        assert!(json.contains("\"deferred\": 1"));
+        assert!(json.contains("\"duplicates\": 3"));
         assert!(json.contains("gpu\\\"0\\\""), "names are escaped: {json}");
         assert_eq!(
             json.matches('{').count(),

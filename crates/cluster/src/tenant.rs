@@ -96,7 +96,17 @@ impl core::fmt::Display for ModelKind {
 /// how often, and how finely staged — independent of any GPU.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TenantSpec {
-    /// Unique tenant name (the dispatcher keys on it).
+    /// Unique tenant name.
+    ///
+    /// **Uniqueness contract:** the dispatcher keys removal, migration,
+    /// and release phases on this name, so at most one *active* tenant
+    /// (resident on a node or waiting in the dispatch queue) may carry
+    /// it at a time. [`crate::Fleet::dispatch`] enforces this by
+    /// rejecting a same-named arrival with
+    /// [`crate::DispatchOutcome::Duplicate`] — without the check, a
+    /// later `remove` would delete whichever instance it found first
+    /// and leave a resident ghost simulated forever. A name becomes
+    /// free again once the tenant departs.
     pub name: String,
     /// Served architecture.
     pub model: ModelKind,

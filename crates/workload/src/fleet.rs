@@ -45,6 +45,9 @@ pub struct FleetScenario {
     pub sim: SimDuration,
     /// Jitter/churn seed.
     pub seed: u64,
+    /// Two-level sharded dispatch: nodes per shard (`None` = flat
+    /// O(nodes) placement scan).
+    pub sharding: Option<usize>,
 }
 
 impl FleetScenario {
@@ -67,6 +70,7 @@ impl FleetScenario {
             },
             sim: SimDuration::from_secs(sim_secs),
             seed: 0x5672_5053,
+            sharding: None,
         }
     }
 
@@ -95,6 +99,57 @@ impl FleetScenario {
             }),
             sim: SimDuration::from_secs(sim_secs),
             seed: 0x5672_5053,
+            sharding: None,
+        }
+    }
+
+    /// A scale-out fleet of `n_nodes` (the 64–256 node regime where flat
+    /// dispatch stops scaling): repeating 68/46/34-SM devices under brisk
+    /// churn whose arrival rate grows with the fleet, dispatched through
+    /// 8-node shards. Set [`FleetScenario::sharding`] to `None` for the
+    /// flat-dispatch baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    #[must_use]
+    pub fn scale_out(n_nodes: usize, sim_secs: u64) -> Self {
+        assert!(n_nodes > 0, "a scale-out fleet needs nodes");
+        let sizes = [68u32, 46, 34];
+        let nodes = (0..n_nodes)
+            .map(|i| {
+                let sm = sizes[i % sizes.len()];
+                let gpu = if sm == 68 {
+                    GpuSpec::rtx_2080_ti()
+                } else {
+                    GpuSpec::synthetic(sm)
+                };
+                NodeSpec::sgprs(format!("gpu{i}-{sm}sm"), gpu)
+            })
+            .collect();
+        // Offered load tracks fleet size: ~2 arrivals per node per
+        // second keeps admission under pressure at every scale.
+        let mean_interarrival =
+            SimDuration::from_nanos((500_000_000 / n_nodes as u64).max(1_000_000));
+        FleetScenario {
+            label: format!("scale-out x{n_nodes} + churn [sharded/8]"),
+            nodes,
+            placement: PlacementPolicy::LeastUtilization,
+            load: TenantLoad::Churn(ChurnConfig {
+                mean_interarrival,
+                min_lifetime: SimDuration::from_secs(2),
+                max_lifetime: SimDuration::from_secs(12),
+                mix: vec![
+                    (ModelKind::ResNet18, 6),
+                    (ModelKind::MobileNet, 3),
+                    (ModelKind::ResNet34, 1),
+                ],
+                fps: crate::PAPER_FPS,
+                stages: crate::PAPER_STAGES,
+            }),
+            sim: SimDuration::from_secs(sim_secs),
+            seed: 0x5672_5053,
+            sharding: Some(8),
         }
     }
 
@@ -127,9 +182,12 @@ impl FleetScenario {
     /// Runs the scenario and returns the fleet metrics.
     #[must_use]
     pub fn run(&self) -> FleetMetrics {
-        let cfg = FleetConfig::new(self.nodes.clone())
+        let mut cfg = FleetConfig::new(self.nodes.clone())
             .with_placement(self.placement)
             .with_seed(self.seed);
+        if let Some(shard_size) = self.sharding {
+            cfg = cfg.with_sharding(shard_size);
+        }
         Fleet::new(cfg).run(self.trace(), self.sim)
     }
 }
@@ -165,6 +223,21 @@ mod tests {
         assert_eq!(m.nodes.len(), 4);
         let hist_total: u64 = m.utilization_histogram.iter().sum();
         assert!(hist_total > 0, "utilisation was sampled");
+    }
+
+    #[test]
+    fn scale_out_scenario_runs_sharded_and_flat() {
+        let sharded = FleetScenario::scale_out(64, 2);
+        assert_eq!(sharded.nodes.len(), 64);
+        assert_eq!(sharded.sharding, Some(8));
+        let m = sharded.run();
+        assert!(m.total_fps > 0.0);
+        assert!(m.arrivals > 64, "brisk churn at scale: {m:?}");
+        assert_eq!(m.nodes.len(), 64);
+        // The flat baseline is the same scenario with routing disabled.
+        let mut flat = sharded.clone();
+        flat.sharding = None;
+        assert_eq!(flat.trace(), sharded.trace(), "same offered load");
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //!   the cost model, and stage partitioning.
 //! * [`core`] — the SGPRS scheduler itself plus the naive and
 //!   reconfiguring baselines, with shared metrics.
-//! * [`cluster`] — the multi-GPU fleet: dispatching, utilisation-bound
-//!   admission control, placement policies, tenant churn, migration, and
-//!   fleet-level metrics.
+//! * [`cluster`] — the multi-GPU fleet: dispatching (flat, or two-level
+//!   sharded via `cluster::ShardedFleet` for 64-node-and-up fleets),
+//!   utilisation-bound admission control, placement policies, tenant
+//!   churn, migration, parallel per-epoch node execution with
+//!   deterministic metrics, and fleet-level metrics.
 //! * [`workload`] — scenarios and sweeps reproducing the paper's figures
 //!   and the fleet-serving experiments beyond them.
 

@@ -4,7 +4,7 @@
 
 use sgprs_suite::cluster::{
     AdmissionController, ChurnTrace, Fleet, FleetConfig, FleetNode, ModelKind, NodeSpec,
-    TenantSpec,
+    ShardedFleet, TenantSpec,
 };
 use sgprs_suite::gpu_sim::GpuSpec;
 use sgprs_suite::rt::SimDuration;
@@ -87,6 +87,53 @@ fn fleet_json_reports_fps_and_rejection_rate() {
     assert!(json.contains("\"rejection_rate\""));
     assert!(json.contains("\"utilization_histogram\""));
     assert_eq!(json.matches("\"name\"").count(), 4, "four nodes reported");
+}
+
+/// The acceptance criterion of the parallel fan-out: on the
+/// heterogeneous churn scenario, parallel and sequential epoch execution
+/// produce byte-identical `FleetMetrics` JSON.
+#[test]
+fn parallel_epochs_match_sequential_on_heterogeneous_churn() {
+    let scenario = FleetScenario::heterogeneous_churn(4);
+    let run = |sequential: bool| {
+        let mut cfg = FleetConfig::new(scenario.nodes.clone()).with_seed(scenario.seed);
+        if sequential {
+            cfg = cfg.sequential();
+        }
+        Fleet::new(cfg).run(scenario.trace(), scenario.sim)
+    };
+    let parallel = run(false);
+    let sequential = run(true);
+    assert_eq!(parallel, sequential);
+    assert_eq!(parallel.to_json(), sequential.to_json());
+}
+
+/// The sharded scale-out scenario serves real traffic and the admission
+/// bound still holds on every node at the end — routing through shard
+/// summaries must never bypass per-node admission.
+#[test]
+fn sharded_scale_out_serves_without_overcommitting() {
+    let scenario = FleetScenario::scale_out(64, 3);
+    let mut fleet = ShardedFleet::new(
+        FleetConfig::new(scenario.nodes.clone()).with_seed(scenario.seed),
+        8,
+    );
+    assert_eq!(fleet.shard_count(), 8);
+    let m = fleet.run(scenario.trace(), scenario.sim);
+    assert!(m.total_fps > 0.0);
+    assert!(m.arrivals > 100, "{m:?}");
+    assert!(m.admitted > 0);
+    let ctl = AdmissionController::default();
+    for node in fleet.nodes() {
+        let budget = ctl.budget(node, None);
+        assert!(
+            node.total_demand() <= budget + 1e-9,
+            "{}: demand {:.1} within budget {:.1}",
+            node.spec.name,
+            node.total_demand(),
+            budget
+        );
+    }
 }
 
 /// Heterogeneous capacity ordering shows up in the metrics: the 68-SM
