@@ -46,6 +46,13 @@ pub struct ChurnConfig {
     pub fps: f64,
     /// Stage count of every arriving tenant.
     pub stages: usize,
+    /// Re-pricing ladder stamped on every arriving tenant (degraded fps
+    /// steps, strictly descending; see [`TenantSpec::fps_ladder`]).
+    /// Empty by default: tenants opt out of re-pricing.
+    pub fps_ladder: Vec<f64>,
+    /// Queue patience stamped on every arriving tenant (see
+    /// [`TenantSpec::max_wait`]). `None` (the default) waits forever.
+    pub max_wait: Option<SimDuration>,
 }
 
 impl Default for ChurnConfig {
@@ -57,6 +64,8 @@ impl Default for ChurnConfig {
             mix: vec![(ModelKind::ResNet18, 1)],
             fps: 30.0,
             stages: 6,
+            fps_ladder: Vec::new(),
+            max_wait: None,
         }
     }
 }
@@ -149,8 +158,10 @@ impl ChurnTrace {
                     }
                 })
                 .map_or(cfg.mix[0].0, |&(m, _)| m);
-            let tenant = TenantSpec::new(format!("{}-{serial}", model.name()), model, cfg.fps)
-                .with_stages(cfg.stages);
+            let mut tenant = TenantSpec::new(format!("{}-{serial}", model.name()), model, cfg.fps)
+                .with_stages(cfg.stages)
+                .with_fps_ladder(cfg.fps_ladder.clone());
+            tenant.max_wait = cfg.max_wait;
             serial += 1;
             let lifetime_band = cfg
                 .max_lifetime

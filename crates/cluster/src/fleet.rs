@@ -3,11 +3,21 @@
 //!
 //! Simulated time is divided into *epochs*. At each epoch boundary the
 //! dispatcher applies churn events (arrivals are placed through the
-//! [`Placer`] + [`AdmissionController`]; departures free capacity and
-//! drain the wait queue), then every non-empty node runs its scheduler
-//! for one epoch and reports [`sgprs_core::RunMetrics`], which the
-//! [`FleetMetricsBuilder`] folds into fleet totals. Optional migration
-//! moves a tenant off any node whose epoch miss rate crossed a threshold.
+//! [`Placer`] + [`AdmissionController`]; departures free capacity, expire
+//! overdue waiters, and drain the wait queue in [`crate::QueuePolicy`]
+//! order), then every non-empty node runs its scheduler for one epoch and
+//! reports [`sgprs_core::RunMetrics`], which the [`FleetMetricsBuilder`]
+//! folds into fleet totals. Optional migration moves a tenant off any
+//! node whose epoch miss rate crossed a threshold.
+//!
+//! With [`QueueConfig::repricing`] on, an arrival that does not fit at
+//! its requested rate may be admitted at a degraded
+//! [`TenantSpec::fps_ladder`] step — SGPRS's zero-cost partition switch
+//! makes the later upgrade free — and each epoch boundary steps degraded
+//! residents back up: departures first admit waiting tenants (policy
+//! order), then leftover capacity upgrades degraded residents in place,
+//! in tenant-name order, jumping each as high up its ladder as the node
+//! admits. Degrades and upgrades never move a tenant between nodes.
 //!
 //! Granularity contract: arrivals keep sub-epoch precision (they enter
 //! as release phases inside their first epoch); departures and
@@ -28,14 +38,16 @@
 //! ([`FleetConfig::sequential`] is the escape hatch): parallelism
 //! changes wall-clock time, never results.
 
+use crate::queue::DispatchQueue;
 use crate::shard::ShardRouter;
 use crate::{
     AdmissionConfig, AdmissionController, ChurnEvent, ChurnTrace, FleetMetrics,
-    FleetMetricsBuilder, FleetNode, NodeSpec, Placer, PlacementPolicy, ShardConfig, TenantSpec,
+    FleetMetricsBuilder, FleetNode, NodeSpec, Placer, PlacementPolicy, QueueConfig, ShardConfig,
+    TenantSpec,
 };
 use sgprs_core::{CompiledTask, RunMetrics};
 use sgprs_rt::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Migration knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,8 +85,14 @@ pub struct FleetConfig {
     /// Fan per-epoch node execution out over worker threads (results are
     /// bit-identical either way; see the module docs).
     pub parallel: bool,
+    /// Worker-thread count for the parallel fan-out; `None` uses every
+    /// available core. Ignored when `parallel` is off. Results are
+    /// bit-identical for every count.
+    pub workers: Option<usize>,
     /// Optional two-level sharded dispatch (see [`crate::ShardedFleet`]).
     pub sharding: Option<ShardConfig>,
+    /// Wait-queue policy and re-pricing knobs (see [`crate::QueuePolicy`]).
+    pub queue: QueueConfig,
 }
 
 impl FleetConfig {
@@ -95,7 +113,9 @@ impl FleetConfig {
             migration: MigrationConfig::default(),
             seed: 0x5672_5053,
             parallel: true,
+            workers: None,
             sharding: None,
+            queue: QueueConfig::default(),
         }
     }
 
@@ -143,13 +163,51 @@ impl FleetConfig {
         self.seed = seed;
         self
     }
+
+    /// Forces the parallel fan-out onto exactly `workers` threads
+    /// (metrics are bit-identical for every count; the knob exists for
+    /// determinism tests and for capping thread pressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "the fan-out needs at least one worker");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Replaces the wait-queue policy (FIFO is the default).
+    #[must_use]
+    pub fn with_queue_policy(mut self, policy: crate::QueuePolicy) -> Self {
+        self.queue.policy = policy;
+        self
+    }
+
+    /// Enables the fps re-pricing ladder (see [`QueueConfig::repricing`]).
+    #[must_use]
+    pub fn with_repricing(mut self) -> Self {
+        self.queue.repricing = true;
+        self
+    }
 }
 
 /// Where a dispatched tenant ended up.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DispatchOutcome {
     /// Placed on the node with the given index.
     Placed(usize),
+    /// Did not fit at its requested rate, but the re-pricing ladder found
+    /// room at the degraded rate `fps` on node `node` — the tenant is
+    /// resident and will be upgraded back toward its requested rate when
+    /// capacity frees (requires [`QueueConfig::repricing`]).
+    PlacedDegraded {
+        /// The node the tenant landed on.
+        node: usize,
+        /// The degraded rate it serves at.
+        fps: f64,
+    },
     /// Currently over capacity everywhere; the tenant waits in the
     /// dispatch queue for departures to free room.
     Queued,
@@ -173,7 +231,7 @@ pub struct Fleet {
     nodes: Vec<FleetNode>,
     placer: Placer,
     admission: AdmissionController,
-    queue: VecDeque<TenantSpec>,
+    queue: DispatchQueue,
     /// Sub-epoch release phase of tenants that arrived mid-epoch,
     /// consumed by the next `run_epoch`.
     pending_phase: HashMap<String, SimDuration>,
@@ -184,6 +242,19 @@ pub struct Fleet {
     active: HashSet<String>,
     /// Two-level dispatch router, present when sharding is configured.
     router: Option<ShardRouter>,
+    /// The dispatcher's clock: advanced by `run`, stamps queue entries so
+    /// waits and queue deadlines are measurable.
+    now: SimTime,
+    /// Whether node capacity was released (departure or migration) since
+    /// the last drain pass — when it was not, the queue head still cannot
+    /// fit and the whole retry scan is skipped.
+    capacity_released: bool,
+    /// Drain passes that actually scanned the queue (skip-scan
+    /// observability for tests).
+    drain_scans: u64,
+    /// Residents currently serving below their requested rate: tenant
+    /// name → requested fps. Ordered so upgrade passes are deterministic.
+    degraded: BTreeMap<String, f64>,
 }
 
 impl Fleet {
@@ -203,16 +274,21 @@ impl Fleet {
             .sharding
             .as_ref()
             .map(|shard| ShardRouter::new(nodes.len(), shard));
+        let queue = DispatchQueue::new(cfg.queue.policy);
         Fleet {
             cfg,
             nodes,
             placer,
             admission,
-            queue: VecDeque::new(),
+            queue,
             pending_phase: HashMap::new(),
             compiled: HashMap::new(),
             active: HashSet::new(),
             router,
+            now: SimTime::ZERO,
+            capacity_released: true,
+            drain_scans: 0,
+            degraded: BTreeMap::new(),
         }
     }
 
@@ -226,6 +302,18 @@ impl Fleet {
     #[must_use]
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Names of the waiting tenants in drain (policy) order.
+    #[must_use]
+    pub fn queued_names(&self) -> Vec<String> {
+        self.queue.names_in_order()
+    }
+
+    /// Number of residents currently serving below their requested rate.
+    #[must_use]
+    pub fn degraded_residents(&self) -> usize {
+        self.degraded.len()
     }
 
     /// The admission controller in use.
@@ -275,34 +363,73 @@ impl Fleet {
     }
 
     /// Offers `tenant` to the placement policy: on success the tenant
-    /// becomes resident; when merely over capacity it joins the wait
-    /// queue; when latency-infeasible on every node it is dropped; when
-    /// its name is already active it is rejected as a duplicate.
+    /// becomes resident; when it does not fit at its requested rate and
+    /// re-pricing is on, its [`TenantSpec::fps_ladder`] steps are tried
+    /// next (degrade instead of defer); when merely over capacity it
+    /// joins the wait queue; when latency-infeasible on every node (at
+    /// every admissible price) it is dropped; when its name is already
+    /// active it is rejected as a duplicate.
     pub fn dispatch(&mut self, tenant: TenantSpec) -> DispatchOutcome {
         if self.active.contains(&tenant.name) {
             return DispatchOutcome::Duplicate;
         }
-        match self.plan(&tenant) {
-            Some(idx) => {
+        match self.plan_repriced(&tenant) {
+            Some(PricedPlan::Full(idx)) => {
                 self.commit(idx, tenant);
-                DispatchOutcome::Placed(idx)
+                return DispatchOutcome::Placed(idx);
             }
-            None => {
-                // Queue only tenants some node could carry once load
-                // drains; best-case latency is load-independent, so a
-                // tenant failing the gate everywhere can never fit.
-                let feasible_somewhere = self.nodes.iter().any(|node| {
-                    self.admission.best_case_latency(node, &tenant) <= tenant.period()
-                });
-                if feasible_somewhere {
-                    self.active.insert(tenant.name.clone());
-                    self.queue.push_back(tenant);
-                    DispatchOutcome::Queued
-                } else {
-                    DispatchOutcome::Infeasible
+            Some(PricedPlan::Degraded(idx, fps)) => {
+                self.degraded.insert(tenant.name.clone(), tenant.fps);
+                self.commit(idx, tenant.at_fps(fps));
+                return DispatchOutcome::PlacedDegraded { node: idx, fps };
+            }
+            None => {}
+        }
+        if self.queue_feasible(&tenant) {
+            self.active.insert(tenant.name.clone());
+            self.queue.push(tenant, self.now);
+            DispatchOutcome::Queued
+        } else {
+            DispatchOutcome::Infeasible
+        }
+    }
+
+    /// Plans `tenant` at its requested rate, then — with re-pricing on —
+    /// down its degrade ladder, best step first. The single definition of
+    /// the ladder walk, shared by arrival dispatch and the queue drain.
+    fn plan_repriced(&mut self, tenant: &TenantSpec) -> Option<PricedPlan> {
+        if let Some(idx) = self.plan(tenant) {
+            return Some(PricedPlan::Full(idx));
+        }
+        if self.cfg.queue.repricing {
+            let steps: Vec<f64> = tenant.degrade_steps().collect();
+            for fps in steps {
+                if let Some(idx) = self.plan(&tenant.at_fps(fps)) {
+                    return Some(PricedPlan::Degraded(idx, fps));
                 }
             }
         }
+        None
+    }
+
+    /// Whether some node could ever carry `tenant` once load drains —
+    /// at its requested rate or, under re-pricing, at any ladder step.
+    /// Best-case latency is load-independent, so a tenant failing the
+    /// gate everywhere at every price can never fit and queueing it
+    /// would only block the queue.
+    fn queue_feasible(&self, tenant: &TenantSpec) -> bool {
+        let fits = |t: &TenantSpec| {
+            self.nodes
+                .iter()
+                .any(|node| self.admission.best_case_latency(node, t) <= t.period())
+        };
+        if fits(tenant) {
+            return true;
+        }
+        self.cfg.queue.repricing
+            && tenant
+                .degrade_steps()
+                .any(|fps| fits(&tenant.at_fps(fps)))
     }
 
     /// Removes the named tenant wherever it lives (node or queue).
@@ -310,46 +437,161 @@ impl Fleet {
     /// contract of [`TenantSpec::name`] (enforced by [`Self::dispatch`])
     /// at most one active tenant can match.
     pub fn remove(&mut self, name: &str) -> bool {
-        for idx in 0..self.nodes.len() {
-            if let Some(pos) = self.nodes[idx].tenants.iter().position(|t| t.name == name) {
-                self.nodes[idx].tenants.remove(pos);
-                self.active.remove(name);
-                if let Some(router) = self.router.as_mut() {
-                    router.invalidate_node(idx);
-                }
-                return true;
+        if let Some((idx, pos)) = self.locate(name) {
+            self.nodes[idx].tenants.remove(pos);
+            self.active.remove(name);
+            self.degraded.remove(name);
+            // A departure frees node capacity: the next drain pass must
+            // actually scan the queue again.
+            self.capacity_released = true;
+            if let Some(router) = self.router.as_mut() {
+                router.invalidate_node(idx);
             }
+            return true;
         }
-        if let Some(pos) = self.queue.iter().position(|t| t.name == name) {
-            self.queue.remove(pos);
+        if self.queue.remove(name) {
             self.active.remove(name);
             return true;
         }
         false
     }
 
-    /// Retries queued tenants in FIFO order; returns how many were
-    /// admitted. Stops at the first tenant that still does not fit, so
-    /// the queue stays fair (no overtaking).
+    /// Retries queued tenants in policy order; returns how many were
+    /// admitted. Stops at the first tenant that still does not fit (at
+    /// any admissible price when re-pricing is on), so the queue stays
+    /// fair: nothing overtakes within the policy order. When no node
+    /// capacity was released since the last pass the scan is skipped
+    /// outright — admission is monotone in node load, so a head that did
+    /// not fit then cannot fit now.
     pub fn drain_queue(&mut self) -> u64 {
-        self.drain_queue_names().len() as u64
+        self.drain_queue_admissions().len() as u64
     }
 
-    /// [`Self::drain_queue`], reporting the admitted tenants' names so
-    /// `run` can attribute each admission to the right deferral.
-    fn drain_queue_names(&mut self) -> Vec<String> {
+    /// [`Self::drain_queue`], reporting each admission's name, price, and
+    /// wait so `run` can attribute it to the right deferral.
+    fn drain_queue_admissions(&mut self) -> Vec<QueueAdmission> {
         let mut admitted = Vec::new();
-        while let Some(front) = self.queue.front().cloned() {
-            match self.plan(&front) {
-                Some(idx) => {
-                    let tenant = self.queue.pop_front().expect("front exists");
-                    admitted.push(tenant.name.clone());
-                    self.commit(idx, tenant);
+        if !self.capacity_released {
+            return admitted;
+        }
+        self.drain_scans += 1;
+        while let Some(entry) = self.queue.pop_first() {
+            let Some(plan) = self.plan_repriced(&entry.tenant) else {
+                // The head fits at no price: stop (no overtaking) and put
+                // it back — `reinsert` keeps its arrival serial, so the
+                // drain order is unchanged.
+                self.queue.reinsert(entry);
+                break;
+            };
+            let waited = self.now.duration_since(entry.enqueued_at);
+            let (idx, spec, was_degraded) = match plan {
+                PricedPlan::Full(idx) => (idx, entry.tenant, false),
+                PricedPlan::Degraded(idx, fps) => {
+                    self.degraded
+                        .insert(entry.tenant.name.clone(), entry.tenant.fps);
+                    (idx, entry.tenant.at_fps(fps), true)
                 }
-                None => break,
+            };
+            admitted.push(QueueAdmission {
+                name: spec.name.clone(),
+                degraded: was_degraded,
+                waited,
+            });
+            self.commit(idx, spec);
+        }
+        self.capacity_released = false;
+        admitted
+    }
+
+    /// Drops queued tenants whose [`TenantSpec::max_wait`] elapsed,
+    /// returning their names.
+    fn expire_queued(&mut self) -> Vec<String> {
+        let expired = self.queue.take_expired(self.now);
+        expired
+            .into_iter()
+            .map(|e| {
+                self.active.remove(&e.tenant.name);
+                e.tenant.name
+            })
+            .collect()
+    }
+
+    /// Tries to move every degraded resident back up its ladder — to the
+    /// requested rate if the node now carries it, else to the highest
+    /// ladder step that fits. Upgrades are in-place partition switches on
+    /// the resident node (SGPRS's zero-cost reconfiguration), never
+    /// migrations, and run in tenant-name order for determinism. Returns
+    /// the number of upgrade steps taken.
+    fn upgrade_degraded(&mut self) -> u64 {
+        if self.degraded.is_empty() {
+            return 0;
+        }
+        let names: Vec<String> = self.degraded.keys().cloned().collect();
+        let mut upgrades = 0;
+        for name in names {
+            let requested = self.degraded[&name];
+            // Find the resident (it may have migrated since it degraded).
+            let Some((idx, pos)) = self.locate(&name) else {
+                // Defensive: a degraded entry with no resident would mean
+                // a removal missed the map; drop it rather than retry
+                // forever.
+                self.degraded.remove(&name);
+                continue;
+            };
+            let resident = self.nodes[idx].tenants.remove(pos);
+            // Candidate prices above the current rate, best first.
+            let candidates: Vec<f64> = std::iter::once(requested)
+                .chain(
+                    resident
+                        .fps_ladder
+                        .iter()
+                        .copied()
+                        .filter(|&s| s < requested),
+                )
+                .filter(|&s| s > resident.fps)
+                .collect();
+            let mut upgraded = None;
+            for fps in candidates {
+                let priced = resident.at_fps(fps);
+                if self.admission.evaluate(&self.nodes[idx], &priced).is_admit() {
+                    upgraded = Some(priced);
+                    break;
+                }
+            }
+            match upgraded {
+                Some(priced) => {
+                    if (priced.fps - requested).abs() < 1e-12 {
+                        self.degraded.remove(&name);
+                    }
+                    // Same slot, so placement order (and migration's LIFO
+                    // victim choice) is unaffected by the price change.
+                    self.nodes[idx].tenants.insert(pos, priced);
+                    upgrades += 1;
+                    if let Some(router) = self.router.as_mut() {
+                        router.invalidate_node(idx);
+                    }
+                }
+                None => self.nodes[idx].tenants.insert(pos, resident),
             }
         }
-        admitted
+        upgrades
+    }
+
+    /// The node index and tenant slot of the named resident.
+    fn locate(&self, name: &str) -> Option<(usize, usize)> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Some(pos) = node.tenants.iter().position(|t| t.name == name) {
+                return Some((idx, pos));
+            }
+        }
+        None
+    }
+
+    /// Drain passes that actually scanned the queue (the skip-scan
+    /// fast path does not count).
+    #[cfg(test)]
+    fn drain_scans(&self) -> u64 {
+        self.drain_scans
     }
 
     fn compiled_for(&mut self, tenant: &TenantSpec, node_idx: usize) -> CompiledTask {
@@ -382,12 +624,21 @@ impl Fleet {
             self.nodes.iter().map(|n| n.spec.name.clone()).collect(),
             self.nodes.iter().map(|n| n.spec.gpu.total_sms).collect(),
         );
-        let workers = epoch_workers(self.cfg.parallel);
+        let workers = epoch_workers(self.cfg.parallel, self.cfg.workers);
         // Tenants already waiting when `run` starts are not this run's
         // deferrals: their later admission must not offset the eventual-
         // rejection count of arrivals deferred *by this run*.
         let mut pre_run_queued: HashSet<String> =
             self.queue.iter().map(|t| t.name.clone()).collect();
+        let repricing = self.cfg.queue.repricing;
+        // Every run is its own timeline starting at zero (matching its
+        // trace), so waiters carried over from before this run are
+        // re-stamped as enqueued at the start: their wait is excluded
+        // from this run's statistics anyway (`pre_run_queued`), and
+        // their `max_wait` patience restarts on the new clock rather
+        // than expiring against a stale one.
+        self.now = SimTime::ZERO;
+        self.queue.rebase(SimTime::ZERO);
         let mut events = VecDeque::from(trace.into_sorted());
         let mut epoch_start = SimTime::ZERO;
         let end = SimTime::ZERO + horizon;
@@ -400,16 +651,36 @@ impl Fleet {
             let epoch_len = self.cfg.epoch.min(end.duration_since(epoch_start));
             let epoch_end = epoch_start + epoch_len;
             // 1a. Apply departures from the previous epoch.
+            self.now = epoch_start;
             for name in deferred_departures.drain(..) {
                 if self.remove(&name) {
                     builder.departures += 1;
                 }
             }
-            // The departures may have freed room for queued tenants.
-            for name in self.drain_queue_names() {
-                if !pre_run_queued.remove(&name) {
+            // Waiters whose queue deadline elapsed give up first; an
+            // expired in-run deferral was never served, so the eventual-
+            // rejection accounting below picks it up.
+            for name in self.expire_queued() {
+                builder.expired += 1;
+                pre_run_queued.remove(&name);
+            }
+            // The departures may have freed room for queued tenants —
+            // waiting admissions take the capacity before quality
+            // restoration (upgrades) does: serving more tenants beats
+            // serving fewer faster.
+            for adm in self.drain_queue_admissions() {
+                if !pre_run_queued.remove(&adm.name) {
                     builder.admitted_after_wait += 1;
+                    builder.record_wait(adm.waited);
                 }
+                if adm.degraded {
+                    builder.degraded += 1;
+                }
+            }
+            // Leftover capacity steps degraded residents back up their
+            // ladders (an in-place partition switch, not a migration).
+            if repricing {
+                builder.upgrades += self.upgrade_degraded();
             }
             // 1b. Apply churn falling inside this epoch.
             while let Some((at, _)) = events.front() {
@@ -421,9 +692,15 @@ impl Fleet {
                     ChurnEvent::Arrival(tenant) => {
                         builder.arrivals += 1;
                         let phase = at.duration_since(epoch_start);
+                        self.now = at;
                         match self.dispatch(tenant.clone()) {
                             DispatchOutcome::Placed(_) => {
                                 builder.admitted += 1;
+                                self.pending_phase.insert(tenant.name, phase);
+                            }
+                            DispatchOutcome::PlacedDegraded { .. } => {
+                                builder.admitted += 1;
+                                builder.degraded += 1;
                                 self.pending_phase.insert(tenant.name, phase);
                             }
                             DispatchOutcome::Queued => builder.deferred += 1,
@@ -434,6 +711,7 @@ impl Fleet {
                     ChurnEvent::Departure(name) => deferred_departures.push(name),
                 }
             }
+            self.now = epoch_end;
             // 2. Sample utilisation and prepare each non-empty node's
             // compiled tasks. Preparation needs `&mut self` (the compile
             // cache), so it runs before the fan-out, which only reads
@@ -549,6 +827,9 @@ impl Fleet {
                             router.invalidate_node(idx);
                             router.invalidate_node(j);
                         }
+                        // The source node freed capacity: a waiter that
+                        // routed anywhere may now fit there.
+                        self.capacity_released = true;
                         true
                     }
                     None => false,
@@ -563,6 +844,22 @@ impl Fleet {
         }
         migrations
     }
+}
+
+/// Where the re-pricing ladder found room for a tenant.
+enum PricedPlan {
+    /// Fits at its requested rate on this node.
+    Full(usize),
+    /// Fits only at the given degraded ladder step on this node.
+    Degraded(usize, f64),
+}
+
+/// One admission out of the wait queue: who got in, at what price, and
+/// after how long a wait.
+struct QueueAdmission {
+    name: String,
+    degraded: bool,
+    waited: SimDuration,
 }
 
 /// One node's prepared work for an epoch: the compiled tasks (with their
@@ -580,13 +877,15 @@ impl NodeEpochJob {
     }
 }
 
-/// Worker-thread count for the per-epoch fan-out: every available core
-/// when `parallel`, one otherwise.
-fn epoch_workers(parallel: bool) -> usize {
+/// Worker-thread count for the per-epoch fan-out: the override (or every
+/// available core) when `parallel`, one otherwise.
+fn epoch_workers(parallel: bool, over: Option<usize>) -> usize {
     if parallel {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        over.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     } else {
         1
     }
@@ -663,9 +962,7 @@ mod tests {
             match fleet.dispatch(tenant(i)) {
                 DispatchOutcome::Placed(_) => placed += 1,
                 DispatchOutcome::Queued => queued += 1,
-                DispatchOutcome::Infeasible | DispatchOutcome::Duplicate => {
-                    panic!("resnet18@30fps with a fresh name always dispatches")
-                }
+                other => panic!("resnet18@30fps with a fresh name always dispatches: {other:?}"),
             }
         }
         assert!(placed >= 45, "3 GPUs take ≥ 15 tenants each, got {placed}");
@@ -733,9 +1030,7 @@ mod tests {
             match fleet.dispatch(t) {
                 DispatchOutcome::Placed(_) => names.push(name),
                 DispatchOutcome::Queued => break,
-                DispatchOutcome::Infeasible | DispatchOutcome::Duplicate => {
-                    panic!("resnet18@30fps with a fresh name always dispatches")
-                }
+                other => panic!("resnet18@30fps with a fresh name always dispatches: {other:?}"),
             }
             i += 1;
         }
@@ -1044,6 +1339,243 @@ mod tests {
         );
         assert_eq!(fleet.nodes()[0].tenants.len(), 6, "source population intact");
         assert_eq!(fleet.nodes()[1].tenants.len(), 18, "destination untouched");
+    }
+
+    #[test]
+    fn drain_skips_the_scan_until_capacity_is_released() {
+        // Regression for the epoch-drain hot path: once a pass leaves the
+        // head unplaced, further drains are O(1) until a departure (or
+        // migration) frees node capacity.
+        let mut fleet = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
+            "small",
+            GpuSpec::synthetic(23),
+        )]));
+        let mut i = 0;
+        let mut names = Vec::new();
+        loop {
+            let t = tenant(i);
+            let name = t.name.clone();
+            match fleet.dispatch(t) {
+                DispatchOutcome::Placed(_) => names.push(name),
+                DispatchOutcome::Queued => break,
+                other => panic!("unexpected {other:?}"),
+            }
+            i += 1;
+        }
+        // Queue one more waiter behind the first.
+        assert_eq!(fleet.dispatch(tenant(i + 1)), DispatchOutcome::Queued);
+        let before = fleet.drain_scans();
+        assert_eq!(fleet.drain_queue(), 0, "nothing departed yet");
+        assert_eq!(fleet.drain_scans(), before + 1, "first pass scans");
+        for _ in 0..5 {
+            assert_eq!(fleet.drain_queue(), 0);
+        }
+        assert_eq!(
+            fleet.drain_scans(),
+            before + 1,
+            "no release, no further scans"
+        );
+        // Ordering is preserved across the skipped passes: the departure
+        // admits the first-queued tenant, not the later one.
+        assert_eq!(
+            fleet.queued_names(),
+            vec![tenant(i).name, tenant(i + 1).name]
+        );
+        assert!(fleet.remove(&names[0]));
+        assert_eq!(fleet.drain_queue(), 1);
+        assert_eq!(fleet.drain_scans(), before + 2, "release re-arms the scan");
+        assert_eq!(fleet.queued_names(), vec![tenant(i + 1).name]);
+    }
+
+    #[test]
+    fn priority_policy_admits_heavier_waiters_first() {
+        let cfg = FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))])
+            .with_queue_policy(crate::QueuePolicy::Priority);
+        let mut fleet = Fleet::new(cfg);
+        let mut i = 0;
+        let mut resident = Vec::new();
+        loop {
+            let t = tenant(i);
+            let name = t.name.clone();
+            match fleet.dispatch(t) {
+                DispatchOutcome::Placed(_) => resident.push(name),
+                DispatchOutcome::Queued => break,
+                other => panic!("unexpected {other:?}"),
+            }
+            i += 1;
+        }
+        // The saturating arrival queued with default weight; add a
+        // heavier later waiter that must overtake it in drain order.
+        let vip = TenantSpec::new("vip", ModelKind::ResNet18, 30.0).with_weight(9);
+        assert_eq!(fleet.dispatch(vip), DispatchOutcome::Queued);
+        assert_eq!(fleet.queued_names()[0], "vip");
+        assert!(fleet.remove(&resident[0]));
+        assert_eq!(fleet.drain_queue(), 1);
+        assert!(
+            fleet.queued_names().iter().all(|n| n != "vip"),
+            "the heavier waiter was admitted first"
+        );
+    }
+
+    #[test]
+    fn repricing_admits_degraded_then_upgrades_after_departures() {
+        let cfg = FleetConfig::new(vec![NodeSpec::sgprs("gpu", GpuSpec::rtx_2080_ti())])
+            .with_repricing();
+        let mut fleet = Fleet::new(cfg);
+        // Saturate at 30 fps with no-ladder fillers: leftover headroom is
+        // strictly below one filler demand `d`.
+        let mut i = 0;
+        let mut fillers = Vec::new();
+        loop {
+            let t = tenant(i);
+            let name = t.name.clone();
+            match fleet.dispatch(t) {
+                DispatchOutcome::Placed(_) => fillers.push(name),
+                DispatchOutcome::Queued => {
+                    assert!(fleet.remove(&name), "scaffolding waiter removed");
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            i += 1;
+        }
+        // One departure lifts headroom into [d, 2d): a 60 fps request
+        // (demand exactly 2d) cannot fit, its 30 fps ladder step (demand
+        // exactly d) must.
+        assert!(fleet.remove(&fillers[0]));
+        let priced = TenantSpec::new("elastic", ModelKind::ResNet18, 60.0)
+            .with_fps_ladder([30.0, 24.0, 15.0]);
+        let outcome = fleet.dispatch(priced);
+        let DispatchOutcome::PlacedDegraded { fps, .. } = outcome else {
+            panic!("expected a degraded admission, got {outcome:?}");
+        };
+        assert!((fps - 30.0).abs() < 1e-12, "top viable step wins: {fps}");
+        assert_eq!(fleet.degraded_residents(), 1);
+        // Two more departures free 2d; a run over an empty trace upgrades
+        // the tenant back to its requested rate (one more d) at the next
+        // epoch boundary.
+        assert!(fleet.remove(&fillers[1]));
+        assert!(fleet.remove(&fillers[2]));
+        let m = fleet.run(ChurnTrace::new(), SimDuration::from_secs(2));
+        assert!(m.upgrades >= 1, "{m:?}");
+        assert_eq!(fleet.degraded_residents(), 0, "fully restored");
+        let restored = fleet
+            .nodes()
+            .iter()
+            .flat_map(|n| n.tenants.iter())
+            .find(|t| t.name == "elastic")
+            .expect("still resident");
+        assert!((restored.fps - 60.0).abs() < 1e-12, "{}", restored.fps);
+    }
+
+    #[test]
+    fn repricing_keeps_infeasible_models_out_unless_a_step_fits() {
+        // VGG-16@30fps is latency-infeasible everywhere; with a ladder
+        // step at 15 fps (feasible on a full device) re-pricing admits it
+        // degraded instead of dropping it.
+        let mut fleet = Fleet::new(
+            FleetConfig::new(vec![NodeSpec::sgprs("gpu", GpuSpec::rtx_2080_ti())])
+                .with_repricing(),
+        );
+        let vgg = TenantSpec::new("vgg", ModelKind::Vgg16, 30.0).with_fps_ladder([15.0]);
+        match fleet.dispatch(vgg) {
+            DispatchOutcome::PlacedDegraded { fps, .. } => {
+                assert!((fps - 15.0).abs() < 1e-12);
+            }
+            other => panic!("expected degraded admission, got {other:?}"),
+        }
+        // Without a ladder the same model is still dropped outright.
+        let hopeless = TenantSpec::new("vgg2", ModelKind::Vgg16, 30.0);
+        assert_eq!(fleet.dispatch(hopeless), DispatchOutcome::Infeasible);
+    }
+
+    #[test]
+    fn expired_waiters_count_as_rejections() {
+        // One saturated small node; a waiter with a 1-epoch patience
+        // gives up and is accounted as an eventual rejection.
+        let cfg = || FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))]);
+        let mut scratch = Fleet::new(cfg());
+        let mut fit = 0;
+        while matches!(scratch.dispatch(tenant(fit)), DispatchOutcome::Placed(_)) {
+            fit += 1;
+        }
+        let mut trace = ChurnTrace::new();
+        for i in 0..fit {
+            trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(i)));
+        }
+        trace.push(
+            sgprs_rt::SimTime::ZERO,
+            crate::ChurnEvent::Arrival(
+                TenantSpec::new("impatient", ModelKind::ResNet18, 30.0)
+                    .with_max_wait(SimDuration::from_secs(1)),
+            ),
+        );
+        let mut fleet = Fleet::new(cfg());
+        let m = fleet.run(trace, SimDuration::from_secs(4));
+        assert_eq!(m.deferred, 1);
+        assert_eq!(m.expired, 1, "{m:?}");
+        assert_eq!(m.rejected, 1, "an expired waiter was never served");
+        assert_eq!(m.still_queued, 0, "it left the queue");
+        assert_eq!(fleet.queued(), 0);
+    }
+
+    #[test]
+    fn second_run_restarts_the_queue_clock_for_carried_over_waiters() {
+        // Regression: a waiter surviving run 1 used to keep its absolute
+        // enqueue stamp, so run 2 (whose clock restarts at zero) measured
+        // nonsense waits and stretched the patience window far past
+        // `max_wait`. Each run now re-stamps carried-over waiters at its
+        // own start.
+        let mut fleet = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
+            "small",
+            GpuSpec::synthetic(23),
+        )]));
+        let mut fit = 0;
+        while matches!(fleet.dispatch(tenant(fit)), DispatchOutcome::Placed(_)) {
+            fit += 1;
+        }
+        assert!(fleet.remove(&tenant(fit).name), "scaffolding waiter out");
+        let mut trace = ChurnTrace::new();
+        trace.push(
+            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(3_500),
+            crate::ChurnEvent::Arrival(
+                TenantSpec::new("patient", ModelKind::ResNet18, 30.0)
+                    .with_max_wait(SimDuration::from_secs(2)),
+            ),
+        );
+        let m1 = fleet.run(trace, SimDuration::from_secs(4));
+        assert_eq!(m1.deferred, 1);
+        assert_eq!(m1.expired, 0, "deadline 5.5s is past run 1's horizon");
+        assert_eq!(m1.still_queued, 1);
+        // Run 2 is short: the re-based 2-second patience does not elapse.
+        let m2 = fleet.run(ChurnTrace::new(), SimDuration::from_secs(2));
+        assert_eq!(m2.expired, 0, "patience restarted, not inherited");
+        assert_eq!(m2.still_queued, 1);
+        // Run 3 is long enough for the re-based patience to elapse.
+        let m3 = fleet.run(ChurnTrace::new(), SimDuration::from_secs(4));
+        assert_eq!(m3.expired, 1, "{m3:?}");
+        assert_eq!(m3.still_queued, 0);
+    }
+
+    #[test]
+    fn fifo_default_metrics_are_bit_identical_to_the_pre_queue_dispatcher() {
+        // The default config must not change behaviour: same run, same
+        // JSON, with the new counters pinned at zero.
+        let run_once = || {
+            let mut fleet = Fleet::new(three_node_fleet().with_seed(7));
+            let churn = ChurnConfig {
+                mean_interarrival: SimDuration::from_millis(150),
+                ..ChurnConfig::default()
+            };
+            let horizon = SimDuration::from_secs(3);
+            let trace = ChurnTrace::generate(&churn, horizon, 3);
+            fleet.run(trace, horizon)
+        };
+        let m = run_once();
+        assert_eq!(m.degraded, 0);
+        assert_eq!(m.upgrades, 0);
+        assert_eq!(m.expired, 0);
+        assert_eq!(m, run_once());
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   optional migration off overloaded nodes. Per-epoch node execution
 //!   fans out over scoped worker threads with bit-identical metrics
 //!   (see the determinism contract in the `fleet` module docs).
+//! * [`QueuePolicy`] / [`QueueConfig`] — the wait queue's retry order
+//!   (FIFO, priority-weight, earliest queue deadline) and the fps
+//!   re-pricing ladder: admit at a degraded [`TenantSpec::fps_ladder`]
+//!   step instead of rejecting, upgrade back in place when capacity
+//!   frees — both directions are SGPRS partition switches, never
+//!   migrations.
 //! * [`ShardedFleet`] / [`ShardConfig`] — two-level dispatch: cached
 //!   per-shard capacity summaries route each arrival to a shard, the
 //!   placement policy runs inside it — O(shards + nodes/shard) instead
@@ -67,12 +73,14 @@ mod fleet;
 mod metrics;
 mod node;
 mod placement;
+mod queue;
 mod shard;
 mod tenant;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
 pub use churn::{ChurnConfig, ChurnEvent, ChurnTrace};
 pub use fleet::{DispatchOutcome, Fleet, FleetConfig, MigrationConfig};
+pub use queue::{QueueConfig, QueuePolicy};
 pub use shard::{ShardConfig, ShardedFleet};
 pub use metrics::{FleetMetrics, FleetMetricsBuilder, NodeReport, UTILIZATION_BINS};
 pub use node::{FleetNode, NodeScheduler, NodeSpec};

@@ -74,6 +74,23 @@ pub struct FleetMetrics {
     pub departures: u64,
     /// Tenants migrated off overloaded nodes.
     pub migrations: u64,
+    /// Admissions at a degraded [`crate::TenantSpec::fps_ladder`] step —
+    /// at arrival or out of the wait queue — instead of a rejection
+    /// (requires [`crate::QueueConfig::repricing`]).
+    pub degraded: u64,
+    /// Re-pricing steps back up: at epoch boundaries freed capacity lets
+    /// a degraded tenant serve at a higher ladder step (or its requested
+    /// rate) again. Counts steps, so one tenant may contribute several.
+    pub upgrades: u64,
+    /// Queued tenants that gave up waiting: their
+    /// [`crate::TenantSpec::max_wait`] elapsed before capacity freed.
+    /// Expired in-run deferrals count toward [`FleetMetrics::rejected`].
+    pub expired: u64,
+    /// Mean wait (seconds) of this run's deferrals that were admitted
+    /// out of the queue (0 when none were).
+    pub queue_wait_mean_secs: f64,
+    /// Longest such wait in seconds.
+    pub queue_wait_max_secs: f64,
     /// `(rejected + infeasible) / arrivals` (0 when nothing arrived),
     /// where `rejected` counts *eventual* outcomes: a tenant that queued
     /// and was later admitted is not a rejection.
@@ -109,6 +126,17 @@ impl FleetMetrics {
         out.push_str(&format!("  \"still_queued\": {},\n", self.still_queued));
         out.push_str(&format!("  \"departures\": {},\n", self.departures));
         out.push_str(&format!("  \"migrations\": {},\n", self.migrations));
+        out.push_str(&format!("  \"degraded\": {},\n", self.degraded));
+        out.push_str(&format!("  \"upgrades\": {},\n", self.upgrades));
+        out.push_str(&format!("  \"expired\": {},\n", self.expired));
+        out.push_str(&format!(
+            "  \"queue_wait_mean_secs\": {:.4},\n",
+            self.queue_wait_mean_secs
+        ));
+        out.push_str(&format!(
+            "  \"queue_wait_max_secs\": {:.4},\n",
+            self.queue_wait_max_secs
+        ));
         out.push_str(&format!(
             "  \"rejection_rate\": {:.4},\n",
             self.rejection_rate
@@ -184,6 +212,12 @@ pub struct FleetMetricsBuilder {
     pub(crate) admitted_after_wait: u64,
     pub(crate) departures: u64,
     pub(crate) migrations: u64,
+    pub(crate) degraded: u64,
+    pub(crate) upgrades: u64,
+    pub(crate) expired: u64,
+    wait_total: SimDuration,
+    wait_max: SimDuration,
+    wait_samples: u64,
 }
 
 impl FleetMetricsBuilder {
@@ -210,7 +244,22 @@ impl FleetMetricsBuilder {
             admitted_after_wait: 0,
             departures: 0,
             migrations: 0,
+            degraded: 0,
+            upgrades: 0,
+            expired: 0,
+            wait_total: SimDuration::ZERO,
+            wait_max: SimDuration::ZERO,
+            wait_samples: 0,
         }
+    }
+
+    /// Records the queue wait of one deferred-then-admitted tenant.
+    pub fn record_wait(&mut self, waited: SimDuration) {
+        self.wait_total += waited;
+        if waited > self.wait_max {
+            self.wait_max = waited;
+        }
+        self.wait_samples += 1;
     }
 
     /// Folds one epoch's scheduler metrics for node `node`.
@@ -294,6 +343,15 @@ impl FleetMetricsBuilder {
             still_queued,
             departures: self.departures,
             migrations: self.migrations,
+            degraded: self.degraded,
+            upgrades: self.upgrades,
+            expired: self.expired,
+            queue_wait_mean_secs: if self.wait_samples > 0 {
+                self.wait_total.as_secs_f64() / self.wait_samples as f64
+            } else {
+                0.0
+            },
+            queue_wait_max_secs: self.wait_max.as_secs_f64(),
             rejection_rate: if self.arrivals > 0 {
                 (self.rejected + self.infeasible) as f64 / self.arrivals as f64
             } else {
@@ -369,12 +427,22 @@ mod tests {
         b.rejected = 1;
         b.deferred = 1;
         b.duplicates = 3;
+        b.degraded = 2;
+        b.upgrades = 1;
+        b.expired = 1;
+        b.record_wait(SimDuration::from_secs(1));
+        b.record_wait(SimDuration::from_secs(3));
         let m = b.finish(SimDuration::from_secs(1), &[1], 1);
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"rejection_rate\": 0.5000"));
         assert!(json.contains("\"deferred\": 1"));
         assert!(json.contains("\"duplicates\": 3"));
+        assert!(json.contains("\"degraded\": 2"));
+        assert!(json.contains("\"upgrades\": 1"));
+        assert!(json.contains("\"expired\": 1"));
+        assert!(json.contains("\"queue_wait_mean_secs\": 2.0000"));
+        assert!(json.contains("\"queue_wait_max_secs\": 3.0000"));
         assert!(json.contains("gpu\\\"0\\\""), "names are escaped: {json}");
         assert_eq!(
             json.matches('{').count(),

@@ -277,6 +277,21 @@ impl ShardedFleet {
         self.inner.queued()
     }
 
+    /// See [`Fleet::queued_names`].
+    #[must_use]
+    pub fn queued_names(&self) -> Vec<String> {
+        self.inner.queued_names()
+    }
+
+    /// See [`Fleet::degraded_residents`]. Degrades and upgrades adjust a
+    /// resident's demand in place, so the router's shard summaries are
+    /// invalidated when a price changes — routing stays aware of the
+    /// degraded demand.
+    #[must_use]
+    pub fn degraded_residents(&self) -> usize {
+        self.inner.degraded_residents()
+    }
+
     /// The underlying flat fleet (sharding only changes routing).
     #[must_use]
     pub fn fleet(&self) -> &Fleet {

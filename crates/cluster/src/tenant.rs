@@ -110,10 +110,29 @@ pub struct TenantSpec {
     pub name: String,
     /// Served architecture.
     pub model: ModelKind,
-    /// Frame rate in releases per second.
+    /// Frame rate in releases per second. For a freshly constructed
+    /// tenant this is the *requested* rate; the dispatcher's re-pricing
+    /// ladder may serve a clone of the spec at one of the degraded
+    /// [`TenantSpec::fps_ladder`] steps instead (see
+    /// [`crate::QueuePolicy`]), in which case this field carries the
+    /// rate currently served.
     pub fps: f64,
     /// Stage count for the offline split (6 in the paper).
     pub stages: usize,
+    /// Queueing priority weight (higher is served first under
+    /// [`crate::QueuePolicy::Priority`]; ties break FIFO). Default 1.
+    pub weight: u32,
+    /// How long the tenant is willing to wait in the dispatch queue
+    /// before giving up. `None` waits forever. Under
+    /// [`crate::QueuePolicy::EarliestDeadline`] the implied absolute
+    /// deadline (enqueue instant + `max_wait`) also orders the queue.
+    pub max_wait: Option<SimDuration>,
+    /// The re-pricing ladder: degraded frame rates (strictly descending)
+    /// the dispatcher may serve this tenant at when the requested rate is
+    /// infeasible, upgrading back toward the requested rate at later
+    /// epoch boundaries as capacity frees. Empty (the default) opts the
+    /// tenant out of re-pricing.
+    pub fps_ladder: Vec<f64>,
 }
 
 impl TenantSpec {
@@ -131,6 +150,9 @@ impl TenantSpec {
             model,
             fps,
             stages: 6,
+            weight: 1,
+            max_wait: None,
+            fps_ladder: Vec::new(),
         }
     }
 
@@ -144,6 +166,63 @@ impl TenantSpec {
         assert!(stages > 0, "a tenant needs at least one stage");
         self.stages = stages;
         self
+    }
+
+    /// Overrides the queueing priority weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the maximum time the tenant will wait in the dispatch queue.
+    #[must_use]
+    pub fn with_max_wait(mut self, max_wait: SimDuration) -> Self {
+        self.max_wait = Some(max_wait);
+        self
+    }
+
+    /// Sets the re-pricing ladder: degraded frame rates the dispatcher
+    /// may fall back to, in strictly descending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any step is not a positive finite number or the steps
+    /// are not strictly descending.
+    #[must_use]
+    pub fn with_fps_ladder(mut self, steps: impl Into<Vec<f64>>) -> Self {
+        let steps = steps.into();
+        for pair in steps.windows(2) {
+            assert!(pair[1] < pair[0], "ladder steps must strictly descend");
+        }
+        for &s in &steps {
+            assert!(s.is_finite() && s > 0.0, "ladder steps must be positive, got {s}");
+        }
+        self.fps_ladder = steps;
+        self
+    }
+
+    /// The same tenant re-priced to serve at `fps` (name, model, ladder,
+    /// and queueing attributes unchanged) — how the dispatcher models a
+    /// degrade or upgrade: a partition switch on the resident node, not
+    /// a migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not a positive finite number.
+    #[must_use]
+    pub fn at_fps(&self, fps: f64) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "fps must be positive, got {fps}");
+        let mut spec = self.clone();
+        spec.fps = fps;
+        spec
+    }
+
+    /// The ladder steps strictly below the currently served rate, in
+    /// descending order — the degrade options open to the dispatcher.
+    pub fn degrade_steps(&self) -> impl Iterator<Item = f64> + '_ {
+        let fps = self.fps;
+        self.fps_ladder.iter().copied().filter(move |&s| s < fps)
     }
 
     /// The release period implied by the frame rate.
@@ -233,5 +312,29 @@ mod tests {
     #[should_panic(expected = "fps must be positive")]
     fn zero_fps_panics() {
         let _ = TenantSpec::new("t", ModelKind::ResNet18, 0.0);
+    }
+
+    #[test]
+    fn repricing_clone_keeps_identity_and_scales_demand() {
+        let t = TenantSpec::new("cam", ModelKind::ResNet18, 30.0)
+            .with_fps_ladder([24.0, 15.0])
+            .with_weight(3)
+            .with_max_wait(SimDuration::from_secs(2));
+        let degraded = t.at_fps(15.0);
+        assert_eq!(degraded.name, t.name);
+        assert_eq!(degraded.weight, 3);
+        assert_eq!(degraded.max_wait, t.max_wait);
+        assert_eq!(degraded.fps_ladder, t.fps_ladder);
+        assert!((degraded.demand_sm_equivalents() - t.demand_sm_equivalents() / 2.0).abs() < 1e-9);
+        // Degrade options are the ladder steps below the served rate.
+        assert_eq!(t.degrade_steps().collect::<Vec<_>>(), vec![24.0, 15.0]);
+        assert_eq!(degraded.degrade_steps().count(), 0, "already at the bottom");
+        assert_eq!(t.at_fps(24.0).degrade_steps().collect::<Vec<_>>(), vec![15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly descend")]
+    fn non_descending_ladder_panics() {
+        let _ = TenantSpec::new("t", ModelKind::ResNet18, 30.0).with_fps_ladder([15.0, 24.0]);
     }
 }

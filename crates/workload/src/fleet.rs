@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 use sgprs_cluster::{
     ChurnConfig, ChurnTrace, Fleet, FleetConfig, FleetMetrics, ModelKind, NodeSpec,
-    PlacementPolicy, TenantSpec,
+    PlacementPolicy, QueuePolicy, TenantSpec,
 };
 use sgprs_gpu_sim::GpuSpec;
 use sgprs_rt::SimDuration;
@@ -48,6 +48,12 @@ pub struct FleetScenario {
     /// Two-level sharded dispatch: nodes per shard (`None` = flat
     /// O(nodes) placement scan).
     pub sharding: Option<usize>,
+    /// Wait-queue retry order (FIFO is the default and the classic
+    /// fleet semantics).
+    pub queue_policy: QueuePolicy,
+    /// Enable the fps re-pricing ladder (admit degraded instead of
+    /// rejecting, upgrade back as capacity frees).
+    pub repricing: bool,
 }
 
 impl FleetScenario {
@@ -71,6 +77,8 @@ impl FleetScenario {
             sim: SimDuration::from_secs(sim_secs),
             seed: 0x5672_5053,
             sharding: None,
+            queue_policy: QueuePolicy::Fifo,
+            repricing: false,
         }
     }
 
@@ -96,10 +104,13 @@ impl FleetScenario {
                 ],
                 fps: crate::PAPER_FPS,
                 stages: crate::PAPER_STAGES,
+                ..ChurnConfig::default()
             }),
             sim: SimDuration::from_secs(sim_secs),
             seed: 0x5672_5053,
             sharding: None,
+            queue_policy: QueuePolicy::Fifo,
+            repricing: false,
         }
     }
 
@@ -146,11 +157,63 @@ impl FleetScenario {
                 ],
                 fps: crate::PAPER_FPS,
                 stages: crate::PAPER_STAGES,
+                ..ChurnConfig::default()
             }),
             sim: SimDuration::from_secs(sim_secs),
             seed: 0x5672_5053,
             sharding: Some(8),
+            queue_policy: QueuePolicy::Fifo,
+            repricing: false,
         }
+    }
+
+    /// An overload burst over a small heterogeneous fleet: arrivals come
+    /// several times faster than the two nodes can absorb, every tenant
+    /// carries a 30→24→15→10 fps re-pricing ladder and a two-second
+    /// queue patience, and lifetimes are short enough that capacity keeps
+    /// freeing (so upgrades happen). The constructor returns the
+    /// *FIFO-reject baseline* (ladder and patience present but unused:
+    /// re-pricing off, FIFO order); contrast it with
+    /// `.with_queue(QueuePolicy::EarliestDeadline, true)`, which serves
+    /// the same trace with deadline-aware ordering and the ladder armed —
+    /// the regime where SGPRS's zero-cost partition switch pays off as a
+    /// strictly lower eventual rejection rate.
+    #[must_use]
+    pub fn overload_burst(sim_secs: u64) -> Self {
+        FleetScenario {
+            label: "overload burst x2".into(),
+            nodes: vec![
+                NodeSpec::sgprs("gpu0-68sm", GpuSpec::rtx_2080_ti()),
+                NodeSpec::sgprs("gpu1-34sm", GpuSpec::synthetic(34)),
+            ],
+            placement: PlacementPolicy::LeastUtilization,
+            load: TenantLoad::Churn(ChurnConfig {
+                mean_interarrival: SimDuration::from_millis(50),
+                min_lifetime: SimDuration::from_secs(2),
+                max_lifetime: SimDuration::from_secs(5),
+                mix: vec![(ModelKind::ResNet18, 8), (ModelKind::MobileNet, 2)],
+                fps: crate::PAPER_FPS,
+                stages: crate::PAPER_STAGES,
+                fps_ladder: vec![24.0, 15.0, 10.0],
+                max_wait: Some(SimDuration::from_secs(2)),
+            }),
+            sim: SimDuration::from_secs(sim_secs),
+            seed: 0x5672_5053,
+            sharding: None,
+            queue_policy: QueuePolicy::Fifo,
+            repricing: false,
+        }
+    }
+
+    /// Replaces the queue policy and re-pricing switch (for queueing
+    /// comparisons; relabels like [`FleetScenario::with_placement`]).
+    #[must_use]
+    pub fn with_queue(mut self, policy: QueuePolicy, repricing: bool) -> Self {
+        self.queue_policy = policy;
+        self.repricing = repricing;
+        let pricing = if repricing { "+repricing" } else { "" };
+        self.label = format!("{} [{policy}{pricing}]", self.label);
+        self
     }
 
     /// Replaces the placement policy (for policy comparisons).
@@ -184,7 +247,11 @@ impl FleetScenario {
     pub fn run(&self) -> FleetMetrics {
         let mut cfg = FleetConfig::new(self.nodes.clone())
             .with_placement(self.placement)
-            .with_seed(self.seed);
+            .with_seed(self.seed)
+            .with_queue_policy(self.queue_policy);
+        if self.repricing {
+            cfg = cfg.with_repricing();
+        }
         if let Some(shard_size) = self.sharding {
             cfg = cfg.with_sharding(shard_size);
         }
@@ -238,6 +305,20 @@ mod tests {
         let mut flat = sharded.clone();
         flat.sharding = None;
         assert_eq!(flat.trace(), sharded.trace(), "same offered load");
+    }
+
+    #[test]
+    fn overload_burst_repricing_contrast_shares_the_trace() {
+        let fifo = FleetScenario::overload_burst(3);
+        let smart = FleetScenario::overload_burst(3)
+            .with_queue(QueuePolicy::EarliestDeadline, true);
+        assert_eq!(fifo.trace(), smart.trace(), "same offered load");
+        assert!(smart.label.contains("earliest-deadline+repricing"));
+        let fifo_m = fifo.run();
+        let smart_m = smart.run();
+        assert!(fifo_m.rejected > 0, "the burst must overload: {fifo_m:?}");
+        assert_eq!(fifo_m.degraded, 0, "baseline never re-prices");
+        assert!(smart_m.degraded > 0, "the ladder absorbs overload: {smart_m:?}");
     }
 
     #[test]

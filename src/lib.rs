@@ -17,9 +17,13 @@
 //!   reconfiguring baselines, with shared metrics.
 //! * [`cluster`] — the multi-GPU fleet: dispatching (flat, or two-level
 //!   sharded via `cluster::ShardedFleet` for 64-node-and-up fleets),
-//!   utilisation-bound admission control, placement policies, tenant
-//!   churn, migration, parallel per-epoch node execution with
-//!   deterministic metrics, and fleet-level metrics.
+//!   utilisation-bound admission control, placement policies,
+//!   policy-ordered wait queueing (`cluster::QueuePolicy`: FIFO,
+//!   priority-weight, earliest queue deadline) with an fps re-pricing
+//!   ladder (admit degraded instead of rejecting, upgrade back in place
+//!   as capacity frees), tenant churn, migration, parallel per-epoch
+//!   node execution with deterministic metrics, and fleet-level metrics
+//!   with a golden-pinned JSON schema.
 //! * [`workload`] — scenarios and sweeps reproducing the paper's figures
 //!   and the fleet-serving experiments beyond them.
 

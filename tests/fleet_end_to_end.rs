@@ -1,13 +1,17 @@
 //! End-to-end fleet tests: a multi-GPU fleet must beat the best single
-//! GPU, admission control must hold under pressure, and the JSON report
-//! must carry the acceptance metrics.
+//! GPU, admission control must hold under pressure, the JSON report
+//! must carry the acceptance metrics (schema pinned by a golden
+//! snapshot), metrics must be bit-identical across every execution
+//! strategy, and deadline-aware queueing with fps re-pricing must beat
+//! FIFO-reject on the overload burst.
 
 use sgprs_suite::cluster::{
-    AdmissionController, ChurnTrace, Fleet, FleetConfig, FleetNode, ModelKind, NodeSpec,
-    ShardedFleet, TenantSpec,
+    AdmissionController, ChurnTrace, Fleet, FleetConfig, FleetMetricsBuilder, FleetNode,
+    ModelKind, NodeSpec, QueuePolicy, ShardedFleet, TenantSpec,
 };
+use sgprs_suite::core::MetricsCollector;
 use sgprs_suite::gpu_sim::GpuSpec;
-use sgprs_suite::rt::SimDuration;
+use sgprs_suite::rt::{SimDuration, SimTime};
 use sgprs_suite::workload::{FleetScenario, SchedulerKind, ScenarioSpec};
 
 /// A 3-node fleet under the paper's ResNet18@30fps workload must achieve
@@ -89,23 +93,182 @@ fn fleet_json_reports_fps_and_rejection_rate() {
     assert_eq!(json.matches("\"name\"").count(), 4, "four nodes reported");
 }
 
-/// The acceptance criterion of the parallel fan-out: on the
-/// heterogeneous churn scenario, parallel and sequential epoch execution
-/// produce byte-identical `FleetMetrics` JSON.
+/// The determinism matrix: on the heterogeneous churn scenario the
+/// `FleetMetrics` JSON is byte-identical across worker counts
+/// {1, 2, 4, 8} × {sequential, parallel} × {flat, sharded}. The sharded
+/// leg uses one shard covering all four nodes, which provably routes
+/// through the identical placement scan — so the *entire* 16-way product
+/// collapses onto one reference string. (FIFO queueing is the default
+/// here: this is also the pin that the queue subsystem leaves the
+/// classic dispatcher bit-for-bit unchanged.)
 #[test]
-fn parallel_epochs_match_sequential_on_heterogeneous_churn() {
+fn fleet_metrics_identical_across_workers_parallelism_and_dispatch() {
     let scenario = FleetScenario::heterogeneous_churn(4);
-    let run = |sequential: bool| {
-        let mut cfg = FleetConfig::new(scenario.nodes.clone()).with_seed(scenario.seed);
-        if sequential {
+    let run = |parallel: bool, workers: usize, sharded: bool| {
+        let mut cfg = FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .with_workers(workers);
+        if !parallel {
             cfg = cfg.sequential();
         }
-        Fleet::new(cfg).run(scenario.trace(), scenario.sim)
+        if sharded {
+            cfg = cfg.with_sharding(scenario.nodes.len());
+        }
+        Fleet::new(cfg).run(scenario.trace(), scenario.sim).to_json()
     };
-    let parallel = run(false);
-    let sequential = run(true);
-    assert_eq!(parallel, sequential);
-    assert_eq!(parallel.to_json(), sequential.to_json());
+    let reference = run(false, 1, false);
+    for workers in [1usize, 2, 4, 8] {
+        for parallel in [false, true] {
+            for sharded in [false, true] {
+                assert_eq!(
+                    run(parallel, workers, sharded),
+                    reference,
+                    "workers={workers} parallel={parallel} sharded={sharded} \
+                     must be bit-identical to the sequential flat reference"
+                );
+            }
+        }
+    }
+}
+
+/// The same matrix for genuinely multi-shard dispatch (2-node shards may
+/// place arrivals differently from the flat scan, so it gets its own
+/// reference): the execution strategy must still never change results.
+#[test]
+fn multi_shard_dispatch_is_deterministic_across_workers() {
+    let scenario = FleetScenario::heterogeneous_churn(4);
+    let run = |parallel: bool, workers: usize| {
+        let mut cfg = FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .with_workers(workers)
+            .with_sharding(2);
+        if !parallel {
+            cfg = cfg.sequential();
+        }
+        Fleet::new(cfg).run(scenario.trace(), scenario.sim).to_json()
+    };
+    let reference = run(false, 1);
+    for workers in [1usize, 2, 4, 8] {
+        for parallel in [false, true] {
+            assert_eq!(run(parallel, workers), reference);
+        }
+    }
+}
+
+/// The queueing acceptance criterion: on the overload burst, deadline-
+/// aware queueing plus the fps re-pricing ladder yields a strictly lower
+/// eventual rejection rate than FIFO-reject, at equal-or-better fleet
+/// DMR, and the new counters surface in the JSON export.
+#[test]
+fn deadline_repricing_beats_fifo_reject_on_the_overload_burst() {
+    let fifo = FleetScenario::overload_burst(8);
+    let smart = FleetScenario::overload_burst(8).with_queue(QueuePolicy::EarliestDeadline, true);
+    assert_eq!(fifo.trace(), smart.trace(), "same offered load");
+    let fifo_m = fifo.run();
+    let smart_m = smart.run();
+    assert!(
+        fifo_m.rejected > 0,
+        "the burst must overload the baseline: {fifo_m:?}"
+    );
+    assert!(
+        smart_m.rejection_rate < fifo_m.rejection_rate,
+        "re-pricing must strictly lower the eventual rejection rate: \
+         {:.4} vs {:.4}",
+        smart_m.rejection_rate,
+        fifo_m.rejection_rate
+    );
+    assert!(
+        smart_m.dmr <= fifo_m.dmr + 1e-12,
+        "at equal or better fleet DMR: {:.6} vs {:.6}",
+        smart_m.dmr,
+        fifo_m.dmr
+    );
+    assert!(smart_m.degraded > 0, "the ladder was exercised: {smart_m:?}");
+    assert!(smart_m.upgrades > 0, "and capacity freed for upgrades: {smart_m:?}");
+    assert!(
+        smart_m.queue_wait_max_secs <= 2.0 + 1e-9,
+        "queue deadlines cap the wait: {smart_m:?}"
+    );
+    assert_eq!(fifo_m.degraded, 0, "the baseline never re-prices");
+    assert_eq!(fifo_m.upgrades, 0);
+    let json = smart_m.to_json();
+    for field in [
+        "\"degraded\"",
+        "\"upgrades\"",
+        "\"expired\"",
+        "\"queue_wait_mean_secs\"",
+        "\"queue_wait_max_secs\"",
+    ] {
+        assert!(json.contains(field), "{field} missing from JSON export");
+    }
+}
+
+/// Golden snapshot of the `FleetMetrics::to_json` schema: field names,
+/// order, and formatting are pinned so metric renames (or the new
+/// queue/degrade counters) cannot silently break downstream consumers.
+/// The values come from a hand-built, fully deterministic builder fold —
+/// no scheduler runs — so the string is stable by construction. If this
+/// test fails because the schema intentionally changed, update the
+/// snapshot *and* whatever consumes the JSON.
+#[test]
+fn fleet_metrics_json_schema_matches_golden_snapshot() {
+    // One node epoch: 4 releases, 3 completions (1 late), 1 skip.
+    let mut c = MetricsCollector::new(vec!["t".into()], SimTime::ZERO);
+    let mut t = SimTime::ZERO;
+    for i in 0..4u64 {
+        t = SimTime::ZERO + SimDuration::from_millis(33 * (i + 1));
+        c.record_release(0, t);
+        if i < 3 {
+            let fin = t + SimDuration::from_millis(10);
+            let deadline = if i < 1 {
+                t + SimDuration::from_millis(5)
+            } else {
+                t + SimDuration::from_millis(33)
+            };
+            c.record_completion(0, t, fin, deadline);
+        } else {
+            c.record_skip(0, t);
+        }
+    }
+    let epoch = c.finish(t + SimDuration::from_secs(1));
+    let mut b = FleetMetricsBuilder::new(vec!["gpu0".into(), "gpu1".into()], vec![68, 34]);
+    b.record_epoch(0, &epoch);
+    b.record_utilization(0, 0.42);
+    b.record_utilization(1, 0.95);
+    b.record_wait(SimDuration::from_millis(1500));
+    let json = b.finish(SimDuration::from_secs(2), &[1, 0], 1).to_json();
+    let golden = "\
+{
+  \"window_secs\": 2.000,
+  \"total_fps\": 1.50,
+  \"dmr\": 0.5000,
+  \"arrivals\": 0,
+  \"admitted\": 0,
+  \"rejected\": 0,
+  \"infeasible\": 0,
+  \"deferred\": 0,
+  \"duplicates\": 0,
+  \"admitted_after_wait\": 0,
+  \"still_queued\": 1,
+  \"departures\": 0,
+  \"migrations\": 0,
+  \"degraded\": 0,
+  \"upgrades\": 0,
+  \"expired\": 0,
+  \"queue_wait_mean_secs\": 1.5000,
+  \"queue_wait_max_secs\": 1.5000,
+  \"rejection_rate\": 0.0000,
+  \"utilization_histogram\": [0, 0, 0, 0, 1, 0, 0, 0, 0, 1],
+  \"nodes\": [
+    {\"name\": \"gpu0\", \"total_sms\": 68, \"fps\": 1.50, \"dmr\": 0.5000, \"released\": 4, \"completed\": 3, \"missed\": 2, \"mean_utilization\": 0.4200, \"final_tenants\": 1},
+    {\"name\": \"gpu1\", \"total_sms\": 34, \"fps\": 0.00, \"dmr\": 0.0000, \"released\": 0, \"completed\": 0, \"missed\": 0, \"mean_utilization\": 0.9500, \"final_tenants\": 0}
+  ]
+}";
+    assert_eq!(
+        json, golden,
+        "FleetMetrics::to_json schema drifted — update the snapshot AND \
+         every downstream consumer of the JSON"
+    );
 }
 
 /// The sharded scale-out scenario serves real traffic and the admission

@@ -4,9 +4,12 @@
 //! strategy, ...) { ... } }` form with range strategies over integers and
 //! floats, tuples, `any::<T>()`, and `prop::collection::vec`. Cases are
 //! drawn from a deterministic per-test generator (seeded from the test
-//! name), so failures reproduce across runs. Shrinking is not
-//! implemented: a failing case panics with the usual assertion message,
-//! which is enough to diagnose the invariant that broke.
+//! name), so failures reproduce across runs. The `PROPTEST_CASES`
+//! environment variable overrides every block's configured case count
+//! (the real crate honours the same variable; CI pins it for
+//! reproducible runs). Shrinking is not implemented: a failing case
+//! panics with the usual assertion message, which is enough to diagnose
+//! the invariant that broke.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +33,18 @@ impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig { cases: 32 }
     }
+}
+
+/// The case count a `proptest!` block actually runs: the `PROPTEST_CASES`
+/// environment variable when set and parseable (mirroring the real
+/// crate's env override, which CI pins for reproducibility), else the
+/// block's configured count.
+#[must_use]
+pub fn resolved_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
 }
 
 /// Marker returned by `prop_assume!` when a sampled case does not satisfy
@@ -226,8 +241,9 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::resolved_cases(__config.cases);
             let mut __rng = $crate::TestRng::for_case(::core::stringify!($name));
-            for __case in 0..__config.cases {
+            for __case in 0..__cases {
                 $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
                 // The closure is what lets `prop_assume!` early-return.
                 #[allow(clippy::redundant_closure_call)]
