@@ -1,9 +1,11 @@
 //! **Fleet serving experiment** (beyond the paper): a multi-GPU fleet
 //! with admission control and tenant churn, comparing placement policies
 //! over both a homogeneous scale-out and the heterogeneous reference
-//! fleet, a 64-node flat-vs-sharded dispatch comparison, and an
-//! overload burst contrasting FIFO-reject with deadline-aware queueing
-//! plus fps re-pricing. Every row carries the run's wall-clock so
+//! fleet, a 64-node flat-vs-sharded dispatch comparison, an overload
+//! burst contrasting FIFO-reject with deadline-aware queueing plus fps
+//! re-pricing, and an event-vs-epoch contrast (exact-boundary
+//! dispatching with a migration stall cost vs the epoch grid and its
+//! truncation artifact). Every row carries the run's wall-clock so
 //! dispatch-layer changes show up.
 //!
 //! Usage: `cargo run --release -p sgprs-bench --bin fleet [--sim-secs N] [--csv]`
@@ -20,18 +22,27 @@ const POLICIES: [PlacementPolicy; 3] = [
 fn report(scenario_label: &str, row_label: &str, m: &FleetMetrics, wall_ms: f64, csv: bool) {
     if csv {
         println!(
-            "{scenario_label},{row_label},{:.2},{:.4},{:.4},{},{},{},{wall_ms:.0}",
-            m.total_fps, m.dmr, m.rejection_rate, m.migrations, m.degraded, m.upgrades
+            "{scenario_label},{row_label},{:.2},{:.4},{:.4},{},{},{},{},{:.3},{wall_ms:.0}",
+            m.total_fps,
+            m.dmr,
+            m.rejection_rate,
+            m.migrations,
+            m.degraded,
+            m.upgrades,
+            m.truncated_jobs,
+            m.migration_stall_secs
         );
     } else {
         println!(
-            "{:<52} {:>10.1} {:>6.1}% {:>8.1}% {:>5} {:>5} {:>7.0}",
+            "{:<52} {:>10.1} {:>6.1}% {:>8.1}% {:>5} {:>5} {:>6} {:>7.2} {:>7.0}",
             row_label,
             m.total_fps,
             m.dmr * 100.0,
             m.rejection_rate * 100.0,
             m.degraded,
             m.upgrades,
+            m.truncated_jobs,
+            m.migration_stall_secs,
             wall_ms
         );
     }
@@ -40,8 +51,8 @@ fn report(scenario_label: &str, row_label: &str, m: &FleetMetrics, wall_ms: f64,
 fn header(title: &str) {
     println!("== {title} ==");
     println!(
-        "{:<52} {:>10} {:>7} {:>9} {:>5} {:>5} {:>7}",
-        "scenario", "total FPS", "DMR", "rejected", "degr", "upgr", "wall ms"
+        "{:<52} {:>10} {:>7} {:>9} {:>5} {:>5} {:>6} {:>7} {:>7}",
+        "scenario", "total FPS", "DMR", "rejected", "degr", "upgr", "trunc", "stall s", "wall ms"
     );
 }
 
@@ -58,7 +69,8 @@ fn main() {
 
     if csv {
         println!(
-            "scenario,policy,total_fps,dmr,rejection_rate,migrations,degraded,upgrades,wall_ms"
+            "scenario,policy,total_fps,dmr,rejection_rate,migrations,degraded,upgrades,\
+             truncated_jobs,migration_stall_secs,wall_ms"
         );
     } else {
         header("fleet serving: placement policies under churn");
@@ -122,6 +134,32 @@ fn main() {
             smart_m.dmr * 100.0,
             fifo_m.dmr * 100.0,
             smart_m.queue_wait_mean_secs
+        );
+        println!();
+        header("event vs epoch: exact boundaries + migration stall vs the grid");
+    }
+    // The event-driven contrast: the same hot-naive-node scenario on the
+    // epoch grid (free migration once per boundary, in-flight jobs
+    // truncated) and on the event engine (mid-epoch migration paying the
+    // state-transfer stall, zero truncation).
+    let epoch = FleetScenario::event_vs_epoch(sim_secs.max(6));
+    let event = FleetScenario::event_vs_epoch(sim_secs.max(6)).with_event_driven();
+    let (epoch_m, epoch_ms) = timed_run(&epoch);
+    let (event_m, event_ms) = timed_run(&event);
+    report(&epoch.label, "epoch-grid", &epoch_m, epoch_ms, csv);
+    report(&event.label, "event-driven", &event_m, event_ms, csv);
+    if !csv {
+        println!();
+        println!(
+            "event mode truncates {} jobs (epoch: {}), DMR {:.2}% vs {:.2}% at equal \
+             rejection, {} migrations paying {:.2}s stall vs {} free ones",
+            event_m.truncated_jobs,
+            epoch_m.truncated_jobs,
+            event_m.dmr * 100.0,
+            epoch_m.dmr * 100.0,
+            event_m.migrations,
+            event_m.migration_stall_secs,
+            epoch_m.migrations
         );
     }
 }

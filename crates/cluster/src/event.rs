@@ -1,0 +1,278 @@
+//! The discrete-event fleet core: exact-boundary simulation beside the
+//! epoch-driven [`crate::Fleet::run`] path.
+//!
+//! The epoch dispatcher quantises every decision to the epoch grid: jobs
+//! in flight at an epoch boundary are truncated (~3 % at one-second
+//! epochs and the paper's 33 ms periods), departures wait for the next
+//! boundary, and DMR-triggered migration can only fire once per epoch.
+//! This module replaces the grid with a monotonic event queue:
+//! scheduler state carries across what used to be epoch boundaries, so
+//! **no in-flight job is ever truncated** ([`crate::FleetMetrics::truncated_jobs`]
+//! is asserted zero), departures apply at their exact instant, and
+//! migration fires at job-release boundaries mid-epoch — paying an
+//! explicit [`crate::MigrationConfig::cost`] state-transfer stall, while
+//! re-pricing degrade/upgrade switches stay free partition switches
+//! (SGPRS's headline property, now measurably cheaper than migration in
+//! the same run).
+//!
+//! # Event-ordering / determinism contract
+//!
+//! Events are totally ordered by the triple `(time, node, seq)`:
+//!
+//! * `time` — the simulated instant, integer nanoseconds
+//!   ([`sgprs_rt::SimTime`]), so there is no floating-point drift;
+//! * `node` — the owning node's index; fleet-scope events (trace
+//!   arrivals/departures, queue expiry, utilisation samples) use
+//!   [`NODE_FLEET`] (`usize::MAX`) and therefore sort *after* every
+//!   node-local event at the same instant (a tenant departing at `t`
+//!   still serves a frame released at `t`);
+//! * `seq` — a monotone enqueue serial, the universal tie-break: two
+//!   events at the same `(time, node)` pop in the order they were
+//!   scheduled.
+//!
+//! The engine is single-threaded and every source of randomness is a
+//! pure function of `(fleet seed, node, tenant, release index)`, so a
+//! run is a deterministic function of `(config, trace, horizon)`:
+//! rerunning the same configuration yields byte-identical
+//! [`crate::FleetMetrics::to_json`], and the
+//! [`crate::FleetConfig::with_workers`] / parallel knobs are inert here
+//! (they only affect the epoch path's fan-out). Sharding changes
+//! *placement* exactly as it does on the epoch path — a multi-node
+//! shard may route an arrival differently from the flat scan — but any
+//! fixed dispatch configuration stays fully deterministic; a single
+//! whole-fleet shard provably routes through the identical scan and is
+//! therefore byte-identical to flat dispatch.
+//!
+//! # Execution model
+//!
+//! Event mode does not re-run the per-stage schedulers (they are
+//! rebuilt per epoch by design); instead each node serves jobs under the
+//! fluid approximation of [`exec`]: a job released at `t` on a node with
+//! resident demand `D` and effective capacity `C` finishes at
+//! `t + max(best_case_latency, period · D/C) · jitter`. Naive/reconfig
+//! nodes pay their sequential-execution and partition-switch tax through
+//! a single-job-per-context capacity sample plus the calibrated switch
+//! cost, so "admission says fine, the node still misses" shows up here
+//! exactly as it does on the epoch path. Releases are skip-if-busy: a
+//! frame released while the previous job of the same tenant is in
+//! flight is dropped and counted as a miss, matching the schedulers'
+//! default admission policy.
+//!
+//! Jobs still in flight when the horizon closes run to completion (their
+//! completion events are processed past the horizon) instead of being
+//! truncated; no new frame is released at or after the horizon.
+
+use crate::TenantSpec;
+use sgprs_rt::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+mod engine;
+mod exec;
+
+pub(crate) use engine::run_events;
+
+/// Node index used by fleet-scope events (trace churn, queue expiry,
+/// utilisation samples). `usize::MAX`, so fleet-scope events sort after
+/// every node-local event at the same instant.
+pub const NODE_FLEET: usize = usize::MAX;
+
+/// What a scheduled event does when it pops.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A tenant arrives (from the churn trace) and is dispatched.
+    Arrival(Box<TenantSpec>),
+    /// The named tenant departs (from the churn trace), effective at the
+    /// event's exact instant.
+    Departure(String),
+    /// The named tenant releases a periodic frame on the event's node.
+    /// `gen` guards against stale schedules: a migration bumps the
+    /// tenant's generation, orphaning releases queued for the old node.
+    JobRelease {
+        /// Tenant name.
+        tenant: String,
+        /// The tenant-run generation this release was scheduled under.
+        gen: u64,
+    },
+    /// Job `job` of the named tenant finishes on the event's node.
+    JobCompletion {
+        /// Tenant name.
+        tenant: String,
+        /// Per-tenant job serial.
+        job: u64,
+        /// The tenant-run incarnation that admitted the job (guards a
+        /// reused name's fresh run against a predecessor's stale
+        /// events; unlike `gen`, it survives migration — an in-flight
+        /// job finishes on its source node even mid-transfer).
+        inc: u64,
+        /// The job's absolute deadline (release + period).
+        deadline: SimTime,
+    },
+    /// Job `job`'s deadline elapses: if it is still in flight the miss is
+    /// fed into the node's windowed DMR estimate (the migration trigger).
+    DeadlineCheck {
+        /// Tenant name.
+        tenant: String,
+        /// Per-tenant job serial.
+        job: u64,
+        /// The admitting incarnation (see [`EventKind::JobCompletion`]).
+        inc: u64,
+    },
+    /// The event's node crossed the DMR threshold at a release boundary:
+    /// re-verify and shed one tenant, paying the migration stall.
+    Migrate,
+    /// A queue-deadline elapsed: expire overdue waiters.
+    QueueExpire,
+    /// Periodic utilisation sample (every [`crate::FleetConfig::epoch`]),
+    /// keeping the histogram comparable with the epoch path.
+    Sample,
+}
+
+/// One scheduled event. Ordering (and therefore processing order) is by
+/// `(time, node, seq)` — see the module-level contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimEvent {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The owning node, or [`NODE_FLEET`] for fleet-scope events.
+    pub node: usize,
+    /// Monotone enqueue serial (assigned by [`EventQueue::push`]).
+    pub seq: u64,
+    /// What happens when the event pops.
+    pub kind: EventKind,
+}
+
+impl SimEvent {
+    fn key(&self) -> (SimTime, usize, u64) {
+        (self.time, self.node, self.seq)
+    }
+}
+
+/// Reverse-ordered wrapper so the max-heap pops the *earliest* event.
+#[derive(Debug)]
+struct HeapEntry(SimEvent);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the smallest (time, node, seq) is the heap max.
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// The monotonic event queue: a binary heap over
+/// [`sgprs_rt::SimTime`] with deterministic `(time, node, seq)`
+/// tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time` on `node`, assigning the next enqueue
+    /// serial.
+    pub fn push(&mut self, time: SimTime, node: usize, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(SimEvent {
+            time,
+            node,
+            seq,
+            kind,
+        }));
+    }
+
+    /// Removes and returns the earliest event under the
+    /// `(time, node, seq)` order.
+    pub fn pop(&mut self) -> Option<SimEvent> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgprs_rt::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(at(30), 0, EventKind::Sample);
+        q.push(at(10), 0, EventKind::Sample);
+        q.push(at(20), 0, EventKind::Sample);
+        let times: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![at(10), at(20), at(30)]);
+    }
+
+    #[test]
+    fn same_instant_orders_by_node_then_seq() {
+        let mut q = EventQueue::new();
+        // Fleet-scope first by enqueue order, but node-local events at
+        // the same instant must pop before it regardless.
+        q.push(at(5), NODE_FLEET, EventKind::QueueExpire);
+        q.push(at(5), 2, EventKind::Sample);
+        q.push(at(5), 0, EventKind::Sample);
+        q.push(at(5), 0, EventKind::Migrate);
+        let order: Vec<(usize, u64)> =
+            std::iter::from_fn(|| q.pop()).map(|e| (e.node, e.seq)).collect();
+        assert_eq!(
+            order,
+            vec![(0, 2), (0, 3), (2, 1), (NODE_FLEET, 0)],
+            "node groups same-instant events; seq breaks remaining ties"
+        );
+    }
+
+    #[test]
+    fn seq_preserves_scheduling_order_within_a_node() {
+        let mut q = EventQueue::new();
+        q.push(
+            at(1),
+            3,
+            EventKind::JobRelease {
+                tenant: "a".into(),
+                gen: 0,
+            },
+        );
+        q.push(at(1), 3, EventKind::Migrate);
+        let first = q.pop().expect("two events queued");
+        assert!(matches!(first.kind, EventKind::JobRelease { .. }));
+        let second = q.pop().expect("one event left");
+        assert!(matches!(second.kind, EventKind::Migrate));
+    }
+}

@@ -1,0 +1,538 @@
+//! The event-driven run loop behind [`crate::Fleet::run_events`].
+//!
+//! One [`super::EventQueue`] drives the whole fleet: trace churn, every
+//! tenant's periodic releases, job completions, deadline checks, queue
+//! expiry, migration, and utilisation sampling are all events on the
+//! same monotonic clock. Scheduler state (the in-flight job of every
+//! tenant) lives in [`TenantRun`] entries that persist across the whole
+//! run — there are no epoch boundaries to truncate against, which is the
+//! point.
+
+use super::exec::{FluidExec, MissWindow};
+use super::{EventKind, EventQueue, NODE_FLEET};
+use crate::fleet::Fleet;
+use crate::{ChurnEvent, ChurnTrace, DispatchOutcome, FleetMetrics, FleetMetricsBuilder};
+use sgprs_rt::{SimDuration, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Persistent per-tenant scheduler state: which node the tenant serves
+/// on, its release/job serials, and the job currently in flight.
+#[derive(Debug)]
+struct TenantRun {
+    node: usize,
+    /// Generation guard: release events scheduled under an older
+    /// generation (before a migration, or a previous incarnation of a
+    /// reused name) are stale and dropped on pop.
+    gen: u64,
+    /// Incarnation guard for completion/deadline events: assigned once
+    /// when the run starts and *not* bumped by migration, so a departed
+    /// predecessor's stale events cannot touch a reused name's fresh
+    /// run, while an in-flight job still resolves across a migration.
+    inc: u64,
+    /// Next job serial.
+    job_seq: u64,
+    /// The job currently in flight, if any, with its finish instant
+    /// (skip-if-busy admission; migration resumption waits for it).
+    in_flight: Option<(u64, SimTime)>,
+    /// When the next release event is scheduled (or `SimTime::MAX` when
+    /// none is), so a migration can re-anchor the clock after its stall.
+    next_release: SimTime,
+}
+
+/// Runs `fleet` over `trace` in event-driven mode until `horizon`.
+pub(crate) fn run_events(
+    fleet: &mut Fleet,
+    trace: ChurnTrace,
+    horizon: SimDuration,
+) -> FleetMetrics {
+    assert!(
+        !fleet.cfg.epoch.is_zero(),
+        "epoch must be positive (it paces utilisation sampling and the DMR window)"
+    );
+    let builder = FleetMetricsBuilder::new(
+        fleet.nodes.iter().map(|n| n.spec.name.clone()).collect(),
+        fleet.nodes.iter().map(|n| n.spec.gpu.total_sms).collect(),
+    );
+    let n_nodes = fleet.nodes.len();
+    let seed = fleet.cfg.seed;
+    let mut engine = Engine {
+        fleet,
+        events: EventQueue::new(),
+        exec: FluidExec::new(n_nodes, seed),
+        windows: (0..n_nodes).map(|_| MissWindow::default()).collect(),
+        runs: HashMap::new(),
+        builder,
+        pre_run_queued: HashSet::new(),
+        migration_pending: vec![false; n_nodes],
+        in_flight: 0,
+        next_gen: 0,
+        end: SimTime::ZERO + horizon,
+    };
+    engine.seed(trace, horizon);
+    engine.drive();
+    engine.finish(horizon)
+}
+
+struct Engine<'a> {
+    fleet: &'a mut Fleet,
+    events: EventQueue,
+    exec: FluidExec,
+    windows: Vec<MissWindow>,
+    runs: HashMap<String, TenantRun>,
+    builder: FleetMetricsBuilder,
+    /// Tenants already waiting when the run started: their later
+    /// admission must not offset this run's deferral accounting (same
+    /// contract as the epoch path).
+    pre_run_queued: HashSet<String>,
+    /// One pending `Migrate` event per node at a time.
+    migration_pending: Vec<bool>,
+    /// Jobs admitted but not yet completed — asserted zero at the end:
+    /// the event path never truncates.
+    in_flight: u64,
+    next_gen: u64,
+    end: SimTime,
+}
+
+impl Engine<'_> {
+    /// Seeds the initial event population: releases for tenants already
+    /// resident, expiry deadlines for tenants already waiting, the churn
+    /// trace, and the first utilisation sample.
+    fn seed(&mut self, trace: ChurnTrace, horizon: SimDuration) {
+        // Every run is its own timeline starting at zero, mirroring
+        // `Fleet::run`: carried-over waiters are re-stamped at the start.
+        self.fleet.now = SimTime::ZERO;
+        self.fleet.queue.rebase(SimTime::ZERO);
+        self.pre_run_queued = self.fleet.queue.iter().map(|t| t.name.clone()).collect();
+        if horizon.is_zero() {
+            return;
+        }
+        for idx in 0..self.fleet.nodes.len() {
+            let names: Vec<String> = self.fleet.nodes[idx]
+                .tenants
+                .iter()
+                .map(|t| t.name.clone())
+                .collect();
+            for name in names {
+                self.start_run(name, idx, SimTime::ZERO);
+            }
+        }
+        let waiting_patience: Vec<SimDuration> = self
+            .fleet
+            .queue
+            .iter()
+            .filter_map(|t| t.max_wait)
+            .collect();
+        for patience in waiting_patience {
+            self.schedule_expiry(SimTime::ZERO, patience);
+        }
+        for (at, event) in trace.into_sorted() {
+            if at >= self.end {
+                continue;
+            }
+            match event {
+                ChurnEvent::Arrival(t) => {
+                    self.events.push(at, NODE_FLEET, EventKind::Arrival(Box::new(t)));
+                }
+                ChurnEvent::Departure(name) => {
+                    self.events.push(at, NODE_FLEET, EventKind::Departure(name));
+                }
+            }
+        }
+        let first_sample = (SimTime::ZERO + self.fleet.cfg.epoch).min(self.end);
+        self.events.push(first_sample, NODE_FLEET, EventKind::Sample);
+    }
+
+    /// Pops events until none remain. Completions and deadline checks of
+    /// jobs released before the horizon are processed even past it, so
+    /// in-flight work drains instead of truncating.
+    fn drive(&mut self) {
+        while let Some(ev) = self.events.pop() {
+            self.fleet.now = ev.time;
+            match ev.kind {
+                EventKind::Arrival(tenant) => self.on_arrival(ev.time, *tenant),
+                EventKind::Departure(name) => self.on_departure(ev.time, &name),
+                EventKind::JobRelease { tenant, gen } => {
+                    self.on_release(ev.time, ev.node, tenant, gen);
+                }
+                EventKind::JobCompletion {
+                    tenant,
+                    job,
+                    inc,
+                    deadline,
+                } => self.on_completion(ev.time, ev.node, &tenant, job, inc, deadline),
+                EventKind::DeadlineCheck { tenant, job, inc } => {
+                    self.on_deadline_check(ev.time, ev.node, &tenant, job, inc);
+                }
+                EventKind::Migrate => self.on_migrate(ev.time, ev.node),
+                EventKind::QueueExpire => self.on_queue_expire(ev.time),
+                EventKind::Sample => self.on_sample(ev.time),
+            }
+        }
+    }
+
+    fn finish(mut self, horizon: SimDuration) -> FleetMetrics {
+        self.builder.rejected = self.builder.deferred - self.builder.admitted_after_wait;
+        assert_eq!(
+            self.in_flight, 0,
+            "the event path never truncates: every admitted job ran to completion"
+        );
+        let final_tenants: Vec<usize> =
+            self.fleet.nodes.iter().map(|n| n.tenants.len()).collect();
+        self.builder
+            .finish(horizon, &final_tenants, self.fleet.queue.len() as u64)
+    }
+
+    /// Registers a (fresh-generation) run for `name` on node `idx` and
+    /// schedules its first release at `t`.
+    fn start_run(&mut self, name: String, idx: usize, t: SimTime) {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.events.push(
+            t,
+            idx,
+            EventKind::JobRelease {
+                tenant: name.clone(),
+                gen,
+            },
+        );
+        self.runs.insert(
+            name,
+            TenantRun {
+                node: idx,
+                gen,
+                inc: gen,
+                job_seq: 0,
+                in_flight: None,
+                next_release: t,
+            },
+        );
+    }
+
+    /// Schedules a queue-expiry sweep one nanosecond past the waiter's
+    /// deadline (`DispatchQueue::take_expired` expires strictly-overdue
+    /// entries only).
+    fn schedule_expiry(&mut self, enqueued_at: SimTime, patience: SimDuration) {
+        let due = enqueued_at
+            .saturating_add(patience)
+            .saturating_add(SimDuration::from_nanos(1));
+        self.events.push(due, NODE_FLEET, EventKind::QueueExpire);
+    }
+
+    fn on_arrival(&mut self, t: SimTime, tenant: crate::TenantSpec) {
+        self.builder.arrivals += 1;
+        let name = tenant.name.clone();
+        let patience = tenant.max_wait;
+        match self.fleet.dispatch(tenant) {
+            DispatchOutcome::Placed(idx) => {
+                self.builder.admitted += 1;
+                self.exec.invalidate();
+                self.start_run(name, idx, t);
+            }
+            DispatchOutcome::PlacedDegraded { node, .. } => {
+                self.builder.admitted += 1;
+                self.builder.degraded += 1;
+                self.exec.invalidate();
+                self.start_run(name, node, t);
+            }
+            DispatchOutcome::Queued => {
+                self.builder.deferred += 1;
+                if let Some(patience) = patience {
+                    self.schedule_expiry(t, patience);
+                }
+            }
+            DispatchOutcome::Infeasible => self.builder.infeasible += 1,
+            DispatchOutcome::Duplicate => self.builder.duplicates += 1,
+        }
+    }
+
+    fn on_departure(&mut self, t: SimTime, name: &str) {
+        let was_resident = self.fleet.locate(name).is_some();
+        if self.fleet.remove(name) {
+            self.builder.departures += 1;
+            // Future releases die with the run entry; a job already in
+            // flight still completes (its event carries all it needs).
+            self.runs.remove(name);
+            // A departing pre-run waiter must not leave its name behind:
+            // a later same-named deferred arrival would match the stale
+            // entry and be miscounted as rejected.
+            self.pre_run_queued.remove(name);
+            if was_resident {
+                self.exec.invalidate();
+                self.drain_and_upgrade(t);
+            }
+        }
+    }
+
+    fn on_release(&mut self, t: SimTime, idx: usize, name: String, gen: u64) {
+        debug_assert!(t < self.end, "releases are never scheduled past the horizon");
+        let (busy, job, inc) = match self.runs.get(&name) {
+            Some(run) if run.gen == gen => (run.in_flight.is_some(), run.job_seq, run.inc),
+            // Departed, or a stale schedule from before a migration.
+            _ => return,
+        };
+        // Copy the few price-dependent fields instead of cloning the
+        // whole spec: this is the engine's hottest path, and a clone
+        // would heap-allocate the name and ladder on every release.
+        let Some((model, stages, fps)) = self.fleet.nodes[idx]
+            .tenants
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| (t.model, t.stages, t.fps))
+        else {
+            return;
+        };
+        self.builder.record_released(idx);
+        let period = SimDuration::from_secs_f64(1.0 / fps);
+        let next = t + period;
+        if let Some(run) = self.runs.get_mut(&name) {
+            run.next_release = if next < self.end { next } else { SimTime::MAX };
+        }
+        let migration_on = self.fleet.cfg.migration.enabled;
+        if busy {
+            // Skip-if-busy: the frame is dropped and counts as a miss —
+            // in the migration estimator too, but only while the
+            // estimator has a consumer (the windows grow unboundedly
+            // otherwise; pruning happens inside `dmr`, which only the
+            // migration trigger calls).
+            self.builder.record_skipped(idx);
+            if migration_on {
+                let span = self.fleet.cfg.epoch;
+                self.windows[idx].push(t, true, span);
+            }
+        } else {
+            let service = self.exec.service_time(
+                self.fleet.nodes(),
+                self.fleet.admission(),
+                idx,
+                model,
+                stages,
+                fps,
+                &name,
+                job,
+            );
+            let finish = t + service;
+            self.in_flight += 1;
+            self.events.push(
+                finish,
+                idx,
+                EventKind::JobCompletion {
+                    tenant: name.clone(),
+                    job,
+                    inc,
+                    deadline: next,
+                },
+            );
+            // Deadline checks only feed the migration estimator; with
+            // migration off they would be popped and discarded, so the
+            // hot path skips scheduling them entirely.
+            if migration_on {
+                self.events.push(
+                    next,
+                    idx,
+                    EventKind::DeadlineCheck {
+                        tenant: name.clone(),
+                        job,
+                        inc,
+                    },
+                );
+            }
+            if let Some(run) = self.runs.get_mut(&name) {
+                run.in_flight = Some((job, finish));
+                run.job_seq += 1;
+            }
+        }
+        // Schedule the next release last, moving the owned name into the
+        // event instead of re-allocating it (the hot-path economy the
+        // field-copy above started).
+        let migration_check = migration_on
+            && !self.migration_pending[idx]
+            && self.fleet.nodes[idx].tenants.len() >= 2;
+        let over_threshold = migration_check && {
+            let span = self.fleet.cfg.epoch;
+            self.windows[idx].dmr(t, span) > self.fleet.cfg.migration.dmr_threshold
+        };
+        if over_threshold {
+            self.migration_pending[idx] = true;
+            self.events.push(t, idx, EventKind::Migrate);
+        }
+        if next < self.end {
+            self.events
+                .push(next, idx, EventKind::JobRelease { tenant: name, gen });
+        }
+    }
+
+    fn on_completion(
+        &mut self,
+        t: SimTime,
+        idx: usize,
+        name: &str,
+        job: u64,
+        inc: u64,
+        deadline: SimTime,
+    ) {
+        // The job genuinely ran and finishes on its node regardless of
+        // what happened to the tenant since (departure, migration, name
+        // reuse) — only the busy flag is incarnation-guarded.
+        self.in_flight -= 1;
+        self.builder.record_completed(idx, t > deadline);
+        if let Some(run) = self.runs.get_mut(name) {
+            if run.inc == inc {
+                // Skip-if-busy invariant: a live incarnation has exactly
+                // one job in flight, so its completions arrive strictly
+                // in admission order. A mismatch means a stale event
+                // from a dead incarnation slipped past the guard and
+                // double-admitted the tenant.
+                debug_assert_eq!(
+                    run.in_flight.map(|(j, _)| j),
+                    Some(job),
+                    "overlapping jobs for live tenant {name}"
+                );
+                run.in_flight = None;
+            }
+        }
+    }
+
+    fn on_deadline_check(&mut self, t: SimTime, idx: usize, name: &str, job: u64, inc: u64) {
+        // Exactly one estimator sample per admitted job, taken at its
+        // deadline with no look-ahead: missed iff it is still in flight.
+        // A stale check (the tenant departed, or its name was reused by
+        // a fresh incarnation) feeds nothing — and with migration off
+        // the estimator has no consumer, so nothing is retained at all.
+        if !self.fleet.cfg.migration.enabled {
+            return;
+        }
+        let Some(run) = self.runs.get(name) else {
+            return;
+        };
+        if run.inc != inc || run.node != idx {
+            // Departed, reused, or migrated away: a shed victim's last
+            // in-flight job must not bill its miss to the source node's
+            // freshly cleared post-shed estimate.
+            return;
+        }
+        let span = self.fleet.cfg.epoch;
+        self.windows[idx].push(t, run.in_flight.map(|(j, _)| j) == Some(job), span);
+    }
+
+    fn on_migrate(&mut self, t: SimTime, idx: usize) {
+        self.migration_pending[idx] = false;
+        let threshold = self.fleet.cfg.migration.dmr_threshold;
+        let cost = self.fleet.cfg.migration.cost;
+        let span = self.fleet.cfg.epoch;
+        if !self.fleet.cfg.migration.enabled || self.fleet.nodes[idx].tenants.len() < 2 {
+            return;
+        }
+        // Re-verify on pop: the trigger and the move are distinct events,
+        // and the world may have changed in between.
+        if self.windows[idx].dmr(t, span) <= threshold {
+            return;
+        }
+        let Some(victim) = self.fleet.nodes[idx].tenants.pop() else {
+            return;
+        };
+        let dmrs: Vec<f64> = (0..self.fleet.nodes.len())
+            .map(|j| self.windows[j].dmr(t, span))
+            .collect();
+        // Same destination policy as the epoch path, fed the windowed
+        // estimates instead of per-epoch DMRs.
+        let dest = self.fleet.migration_destination(idx, &victim, &dmrs, threshold);
+        match dest {
+            Some(j) => {
+                let name = victim.name.clone();
+                self.fleet.nodes[j].tenants.push(victim);
+                if let Some(router) = self.fleet.router.as_mut() {
+                    router.invalidate_node(idx);
+                    router.invalidate_node(j);
+                }
+                self.fleet.capacity_released = true;
+                self.builder.migrations += 1;
+                // The explicit cost model: a migration is a state
+                // transfer, stalling the migrant for the reconfiguration
+                // window. Re-pricing partition switches never pay this.
+                self.builder.record_migration_stall(cost);
+                let gen = self.next_gen;
+                self.next_gen += 1;
+                let resume = if let Some(run) = self.runs.get_mut(&name) {
+                    run.node = j;
+                    run.gen = gen;
+                    // The state transfer cannot finish before the
+                    // migrant's in-flight job drains on the source:
+                    // resuming earlier would skip-drop frames on the
+                    // destination and misattribute those misses to a
+                    // healthy node's migration estimator. One extra
+                    // nanosecond breaks the (time, node, seq) tie a
+                    // lower-indexed destination would otherwise win
+                    // against the source-node completion.
+                    let drained = run.in_flight.map_or(SimTime::ZERO, |(_, finish)| {
+                        finish.saturating_add(SimDuration::from_nanos(1))
+                    });
+                    let resume = run
+                        .next_release
+                        .max(t.saturating_add(cost))
+                        .max(drained);
+                    run.next_release = resume;
+                    resume
+                } else {
+                    SimTime::MAX
+                };
+                if resume < self.end {
+                    self.events.push(
+                        resume,
+                        j,
+                        EventKind::JobRelease { tenant: name, gen },
+                    );
+                }
+                self.windows[idx].clear();
+                self.exec.invalidate();
+                // The source node freed capacity: waiters may fit now.
+                self.drain_and_upgrade(t);
+            }
+            None => {
+                // Nobody can take it; keep it and wait for fresh
+                // evidence before trying again (epoch-path pacing).
+                self.fleet.nodes[idx].tenants.push(victim);
+                self.windows[idx].clear();
+            }
+        }
+    }
+
+    fn on_queue_expire(&mut self, t: SimTime) {
+        if t > self.end {
+            return;
+        }
+        for name in self.fleet.expire_queued() {
+            self.builder.expired += 1;
+            self.pre_run_queued.remove(&name);
+        }
+    }
+
+    fn on_sample(&mut self, t: SimTime) {
+        for idx in 0..self.fleet.nodes.len() {
+            let budget = self.fleet.admission().budget(&self.fleet.nodes[idx], None);
+            let demand = self.fleet.nodes[idx].total_demand();
+            self.builder
+                .record_utilization(idx, if budget > 0.0 { demand / budget } else { 0.0 });
+        }
+        if t < self.end {
+            let next = (t + self.fleet.cfg.epoch).min(self.end);
+            self.events.push(next, NODE_FLEET, EventKind::Sample);
+        }
+    }
+
+    /// Admits waiters freed capacity allows and upgrades degraded
+    /// residents (the shared accounting in
+    /// [`Fleet::drain_and_upgrade_accounted`] — identical to the epoch
+    /// path by construction), then starts a release clock for every
+    /// admitted waiter.
+    fn drain_and_upgrade(&mut self, t: SimTime) {
+        let admissions = self
+            .fleet
+            .drain_and_upgrade_accounted(&mut self.builder, &mut self.pre_run_queued);
+        for adm in admissions {
+            if let Some((idx, _)) = self.fleet.locate(&adm.name) {
+                self.start_run(adm.name, idx, t);
+            }
+        }
+        self.exec.invalidate();
+    }
+}

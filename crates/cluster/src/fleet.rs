@@ -26,7 +26,11 @@
 //! in flight
 //! when an epoch ends are not counted as completed — with the default
 //! one-second epoch and the paper's 33 ms periods this truncation is
-//! under 3 % and affects every scheduler equally.
+//! under 3 % and affects every scheduler equally; the count is surfaced
+//! as [`FleetMetrics::truncated_jobs`]. The event-driven mode
+//! ([`Fleet::run_events`], see [`crate::event`]) removes the grid
+//! entirely: exact boundaries, zero truncation, and migration at
+//! job-release boundaries paying [`MigrationConfig::cost`].
 //!
 //! Parallel-execution determinism: within one epoch the nodes are
 //! mutually independent — they share no simulator state, their compiled
@@ -56,6 +60,15 @@ pub struct MigrationConfig {
     pub enabled: bool,
     /// Epoch deadline-miss rate above which a node sheds one tenant.
     pub dmr_threshold: f64,
+    /// The state-transfer stall a migration pays in event-driven mode
+    /// ([`Fleet::run_events`]): the migrant serves nothing while its
+    /// weights and context state move, roughly a reconfiguration window
+    /// (the default matches `sgprs_core::ReconfigConfig`'s 100 ms
+    /// repartition stall). Re-pricing degrade/upgrade switches are SGPRS
+    /// partition switches and never pay it. The epoch path models
+    /// migration as free (its pre-existing contract) and ignores this
+    /// field.
+    pub cost: SimDuration,
 }
 
 impl Default for MigrationConfig {
@@ -63,6 +76,7 @@ impl Default for MigrationConfig {
         MigrationConfig {
             enabled: false,
             dmr_threshold: 0.2,
+            cost: SimDuration::from_millis(100),
         }
     }
 }
@@ -93,6 +107,12 @@ pub struct FleetConfig {
     pub sharding: Option<ShardConfig>,
     /// Wait-queue policy and re-pricing knobs (see [`crate::QueuePolicy`]).
     pub queue: QueueConfig,
+    /// Run in event-driven mode ([`Fleet::run_events`]) instead of the
+    /// epoch grid when dispatched through [`Fleet::run_configured`]:
+    /// exact release/departure boundaries, no epoch truncation, migration
+    /// with an explicit stall cost. Off by default — the epoch path stays
+    /// bit-for-bit the classic semantics.
+    pub event_driven: bool,
 }
 
 impl FleetConfig {
@@ -116,6 +136,7 @@ impl FleetConfig {
             workers: None,
             sharding: None,
             queue: QueueConfig::default(),
+            event_driven: false,
         }
     }
 
@@ -147,13 +168,29 @@ impl FleetConfig {
         self
     }
 
-    /// Enables migration with the given epoch-DMR threshold.
+    /// Enables migration with the given epoch-DMR threshold. The stall
+    /// cost keeps whatever [`FleetConfig::with_migration_cost`] set (or
+    /// the default), regardless of builder-call order.
     #[must_use]
     pub fn with_migration(mut self, dmr_threshold: f64) -> Self {
-        self.migration = MigrationConfig {
-            enabled: true,
-            dmr_threshold,
-        };
+        self.migration.enabled = true;
+        self.migration.dmr_threshold = dmr_threshold;
+        self
+    }
+
+    /// Replaces the migration state-transfer stall charged in
+    /// event-driven mode (see [`MigrationConfig::cost`]).
+    #[must_use]
+    pub fn with_migration_cost(mut self, cost: SimDuration) -> Self {
+        self.migration.cost = cost;
+        self
+    }
+
+    /// Selects the event-driven execution mode for
+    /// [`Fleet::run_configured`] (see [`Fleet::run_events`]).
+    #[must_use]
+    pub fn with_event_driven(mut self) -> Self {
+        self.event_driven = true;
         self
     }
 
@@ -227,11 +264,11 @@ pub enum DispatchOutcome {
 /// and tenant churn.
 #[derive(Debug)]
 pub struct Fleet {
-    cfg: FleetConfig,
-    nodes: Vec<FleetNode>,
+    pub(crate) cfg: FleetConfig,
+    pub(crate) nodes: Vec<FleetNode>,
     placer: Placer,
     admission: AdmissionController,
-    queue: DispatchQueue,
+    pub(crate) queue: DispatchQueue,
     /// Sub-epoch release phase of tenants that arrived mid-epoch,
     /// consumed by the next `run_epoch`.
     pending_phase: HashMap<String, SimDuration>,
@@ -241,14 +278,14 @@ pub struct Fleet {
     /// uniqueness contract of [`TenantSpec::name`].
     active: HashSet<String>,
     /// Two-level dispatch router, present when sharding is configured.
-    router: Option<ShardRouter>,
-    /// The dispatcher's clock: advanced by `run`, stamps queue entries so
-    /// waits and queue deadlines are measurable.
-    now: SimTime,
+    pub(crate) router: Option<ShardRouter>,
+    /// The dispatcher's clock: advanced by `run`/`run_events`, stamps
+    /// queue entries so waits and queue deadlines are measurable.
+    pub(crate) now: SimTime,
     /// Whether node capacity was released (departure or migration) since
     /// the last drain pass — when it was not, the queue head still cannot
     /// fit and the whole retry scan is skipped.
-    capacity_released: bool,
+    pub(crate) capacity_released: bool,
     /// Drain passes that actually scanned the queue (skip-scan
     /// observability for tests).
     drain_scans: u64,
@@ -307,7 +344,7 @@ impl Fleet {
     /// Names of the waiting tenants in drain (policy) order.
     #[must_use]
     pub fn queued_names(&self) -> Vec<String> {
-        self.queue.names_in_order()
+        self.queue.names_in_order(self.now)
     }
 
     /// Number of residents currently serving below their requested rate.
@@ -469,13 +506,13 @@ impl Fleet {
 
     /// [`Self::drain_queue`], reporting each admission's name, price, and
     /// wait so `run` can attribute it to the right deferral.
-    fn drain_queue_admissions(&mut self) -> Vec<QueueAdmission> {
+    pub(crate) fn drain_queue_admissions(&mut self) -> Vec<QueueAdmission> {
         let mut admitted = Vec::new();
         if !self.capacity_released {
             return admitted;
         }
         self.drain_scans += 1;
-        while let Some(entry) = self.queue.pop_first() {
+        while let Some(entry) = self.queue.pop_first(self.now) {
             let Some(plan) = self.plan_repriced(&entry.tenant) else {
                 // The head fits at no price: stop (no overtaking) and put
                 // it back — `reinsert` keeps its arrival serial, so the
@@ -503,9 +540,43 @@ impl Fleet {
         admitted
     }
 
+    /// Drains the wait queue and folds each admission into `builder`
+    /// under the shared accounting contract — admissions of *this run's*
+    /// deferrals (not `pre_run_queued` carry-overs) count toward
+    /// `admitted_after_wait` and the wait statistics, degraded
+    /// admissions are tallied, and (with re-pricing on) leftover
+    /// capacity then upgrades degraded residents. One definition for
+    /// both execution modes, so epoch and event accounting cannot
+    /// silently drift; the admissions are returned for mode-specific
+    /// bookkeeping (the event engine starts release clocks from them).
+    pub(crate) fn drain_and_upgrade_accounted(
+        &mut self,
+        builder: &mut FleetMetricsBuilder,
+        pre_run_queued: &mut HashSet<String>,
+    ) -> Vec<QueueAdmission> {
+        let admissions = self.drain_queue_admissions();
+        for adm in &admissions {
+            if !pre_run_queued.remove(&adm.name) {
+                builder.admitted_after_wait += 1;
+                builder.record_wait(adm.waited);
+            }
+            if adm.degraded {
+                builder.degraded += 1;
+            }
+        }
+        // Leftover capacity steps degraded residents back up their
+        // ladders (an in-place partition switch, not a migration) —
+        // after waiting admissions: serving more tenants beats serving
+        // fewer faster.
+        if self.cfg.queue.repricing {
+            builder.upgrades += self.upgrade_degraded();
+        }
+        admissions
+    }
+
     /// Drops queued tenants whose [`TenantSpec::max_wait`] elapsed,
     /// returning their names.
-    fn expire_queued(&mut self) -> Vec<String> {
+    pub(crate) fn expire_queued(&mut self) -> Vec<String> {
         let expired = self.queue.take_expired(self.now);
         expired
             .into_iter()
@@ -522,7 +593,7 @@ impl Fleet {
     /// the resident node (SGPRS's zero-cost reconfiguration), never
     /// migrations, and run in tenant-name order for determinism. Returns
     /// the number of upgrade steps taken.
-    fn upgrade_degraded(&mut self) -> u64 {
+    pub(crate) fn upgrade_degraded(&mut self) -> u64 {
         if self.degraded.is_empty() {
             return 0;
         }
@@ -578,7 +649,7 @@ impl Fleet {
     }
 
     /// The node index and tenant slot of the named resident.
-    fn locate(&self, name: &str) -> Option<(usize, usize)> {
+    pub(crate) fn locate(&self, name: &str) -> Option<(usize, usize)> {
         for (idx, node) in self.nodes.iter().enumerate() {
             if let Some(pos) = node.tenants.iter().position(|t| t.name == name) {
                 return Some((idx, pos));
@@ -630,7 +701,6 @@ impl Fleet {
         // rejection count of arrivals deferred *by this run*.
         let mut pre_run_queued: HashSet<String> =
             self.queue.iter().map(|t| t.name.clone()).collect();
-        let repricing = self.cfg.queue.repricing;
         // Every run is its own timeline starting at zero (matching its
         // trace), so waiters carried over from before this run are
         // re-stamped as enqueued at the start: their wait is excluded
@@ -655,6 +725,11 @@ impl Fleet {
             for name in deferred_departures.drain(..) {
                 if self.remove(&name) {
                     builder.departures += 1;
+                    // A departing pre-run waiter must not leave its name
+                    // behind: a later same-named deferred arrival would
+                    // match the stale entry and be miscounted as
+                    // rejected.
+                    pre_run_queued.remove(&name);
                 }
             }
             // Waiters whose queue deadline elapsed give up first; an
@@ -664,24 +739,9 @@ impl Fleet {
                 builder.expired += 1;
                 pre_run_queued.remove(&name);
             }
-            // The departures may have freed room for queued tenants —
-            // waiting admissions take the capacity before quality
-            // restoration (upgrades) does: serving more tenants beats
-            // serving fewer faster.
-            for adm in self.drain_queue_admissions() {
-                if !pre_run_queued.remove(&adm.name) {
-                    builder.admitted_after_wait += 1;
-                    builder.record_wait(adm.waited);
-                }
-                if adm.degraded {
-                    builder.degraded += 1;
-                }
-            }
-            // Leftover capacity steps degraded residents back up their
-            // ladders (an in-place partition switch, not a migration).
-            if repricing {
-                builder.upgrades += self.upgrade_degraded();
-            }
+            // The departures may have freed room for queued tenants;
+            // the shared helper folds admissions and upgrades in.
+            let _ = self.drain_and_upgrade_accounted(&mut builder, &mut pre_run_queued);
             // 1b. Apply churn falling inside this epoch.
             while let Some((at, _)) = events.front() {
                 if *at >= epoch_end {
@@ -784,6 +844,78 @@ impl Fleet {
         builder.finish(horizon, &final_tenants, self.queue.len() as u64)
     }
 
+    /// Runs the fleet over `trace` until `horizon` in **event-driven**
+    /// mode, returning the aggregated metrics.
+    ///
+    /// Where [`Fleet::run`] quantises to the epoch grid, this path
+    /// processes a monotonic event queue (see [`crate::event`] for the
+    /// ordering/determinism contract): scheduler state carries across
+    /// what used to be epoch boundaries so no in-flight job is ever
+    /// truncated ([`FleetMetrics::truncated_jobs`] is asserted zero),
+    /// departures apply at their exact instant, and DMR-triggered
+    /// migration fires at job-release boundaries, paying the
+    /// [`MigrationConfig::cost`] state-transfer stall — while re-pricing
+    /// degrade/upgrade switches stay free partition switches. The run is
+    /// single-threaded and deterministic: [`FleetConfig::workers`] /
+    /// [`FleetConfig::parallel`] have no effect, so the metrics are
+    /// byte-identical across those knobs; sharding steers placement
+    /// exactly as on the epoch path (deterministic per configuration,
+    /// identical to flat only for a whole-fleet shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured epoch is zero (it paces utilisation
+    /// sampling and the migration DMR window), or — defensively — if any
+    /// admitted job failed to run to completion.
+    #[must_use]
+    pub fn run_events(&mut self, trace: ChurnTrace, horizon: SimDuration) -> FleetMetrics {
+        crate::event::run_events(self, trace, horizon)
+    }
+
+    /// Runs `trace` in whichever execution mode the configuration
+    /// selects: [`Fleet::run_events`] when
+    /// [`FleetConfig::event_driven`] is set, the classic epoch-driven
+    /// [`Fleet::run`] otherwise.
+    #[must_use]
+    pub fn run_configured(&mut self, trace: ChurnTrace, horizon: SimDuration) -> FleetMetrics {
+        if self.cfg.event_driven {
+            self.run_events(trace, horizon)
+        } else {
+            self.run(trace, horizon)
+        }
+    }
+
+    /// Chooses the destination for migrating `victim` off `src`: among
+    /// the *other* nodes, those whose miss estimate is at or under
+    /// `threshold` (admission alone would happily bounce a tenant
+    /// between two hot nodes forever) and that admit the victim, the
+    /// least loaded by demand/budget. One policy shared by the epoch
+    /// path's per-boundary sweep and the event engine's release-boundary
+    /// migration, so the two modes cannot silently fork.
+    pub(crate) fn migration_destination(
+        &self,
+        src: usize,
+        victim: &TenantSpec,
+        node_dmr: &[f64],
+        threshold: f64,
+    ) -> Option<usize> {
+        (0..self.nodes.len())
+            .filter(|&j| j != src)
+            .filter(|&j| node_dmr[j] <= threshold)
+            .filter(|&j| self.admission.evaluate(&self.nodes[j], victim).is_admit())
+            .min_by(|&a, &b| {
+                let load = |j: usize| {
+                    let budget = self.admission.budget(&self.nodes[j], None);
+                    if budget > 0.0 {
+                        self.nodes[j].total_demand() / budget
+                    } else {
+                        f64::INFINITY
+                    }
+                };
+                load(a).total_cmp(&load(b))
+            })
+    }
+
     /// Moves the most recently placed tenant off every node whose epoch
     /// miss rate crossed the threshold, if another node admits it.
     fn migrate_overloaded(&mut self, epoch_dmr: &[f64]) -> u64 {
@@ -799,27 +931,13 @@ impl Fleet {
             let Some(tenant) = self.nodes[idx].tenants.pop() else {
                 continue;
             };
-            // Choose among the *other* nodes only, excluding any that
-            // crossed the miss-rate threshold themselves this epoch:
-            // admission alone would happily bounce a tenant between two
-            // hot nodes forever (utilisation looks fine on both while
-            // both keep missing deadlines).
             let moved = {
-                let candidate_idx = (0..self.nodes.len())
-                    .filter(|&j| j != idx)
-                    .filter(|&j| epoch_dmr[j] <= self.cfg.migration.dmr_threshold)
-                    .filter(|&j| self.admission.evaluate(&self.nodes[j], &tenant).is_admit())
-                    .min_by(|&a, &b| {
-                        let load = |j: usize| {
-                            let budget = self.admission.budget(&self.nodes[j], None);
-                            if budget > 0.0 {
-                                self.nodes[j].total_demand() / budget
-                            } else {
-                                f64::INFINITY
-                            }
-                        };
-                        load(a).total_cmp(&load(b))
-                    });
+                let candidate_idx = self.migration_destination(
+                    idx,
+                    &tenant,
+                    epoch_dmr,
+                    self.cfg.migration.dmr_threshold,
+                );
                 match candidate_idx {
                     Some(j) => {
                         self.nodes[j].tenants.push(tenant.clone());
@@ -856,10 +974,10 @@ enum PricedPlan {
 
 /// One admission out of the wait queue: who got in, at what price, and
 /// after how long a wait.
-struct QueueAdmission {
-    name: String,
-    degraded: bool,
-    waited: SimDuration,
+pub(crate) struct QueueAdmission {
+    pub(crate) name: String,
+    pub(crate) degraded: bool,
+    pub(crate) waited: SimDuration,
 }
 
 /// One node's prepared work for an epoch: the compiled tasks (with their
@@ -1576,6 +1694,221 @@ mod tests {
         assert_eq!(m.upgrades, 0);
         assert_eq!(m.expired, 0);
         assert_eq!(m, run_once());
+    }
+
+    #[test]
+    fn event_runs_are_deterministic_and_truncation_free() {
+        let run_once = || {
+            let mut fleet = Fleet::new(three_node_fleet().with_seed(99));
+            let churn = ChurnConfig::default();
+            let horizon = SimDuration::from_secs(3);
+            let trace = ChurnTrace::generate(&churn, horizon, 5);
+            fleet.run_events(trace, horizon)
+        };
+        let m = run_once();
+        assert_eq!(m, run_once(), "event runs are deterministic per seed");
+        assert_eq!(m.truncated_jobs, 0, "{m:?}");
+        assert!(m.total_fps > 0.0);
+        assert_eq!(m.schema_version, crate::METRICS_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn event_departures_apply_at_their_exact_instant() {
+        // The epoch path serves a departing tenant through the end of
+        // its final partial epoch; the event path stops its releases at
+        // the departure instant exactly. One 30 fps tenant departing at
+        // 1.5 s into a 3 s run: ~45 releases, not ~60 and not ~90.
+        let mut fleet = Fleet::new(three_node_fleet());
+        let t = tenant(0);
+        let name = t.name.clone();
+        let mut trace = ChurnTrace::new();
+        trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(t));
+        trace.push(
+            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(1_500),
+            crate::ChurnEvent::Departure(name),
+        );
+        let m = fleet.run_events(trace, SimDuration::from_secs(3));
+        assert_eq!(m.departures, 1);
+        assert!(fleet.nodes().iter().all(|n| n.tenants.is_empty()));
+        let released: u64 = m.nodes.iter().map(|n| n.released).sum();
+        assert!(
+            (44..=46).contains(&released),
+            "30 fps × 1.5 s at the exact boundary: {released}"
+        );
+        assert_eq!(m.truncated_jobs, 0, "the final in-flight job completed");
+    }
+
+    #[test]
+    fn event_migration_pays_the_configured_stall() {
+        // Force-overload the small node (mirroring the epoch-path
+        // migration test): event mode must shed load at a release
+        // boundary and charge the state-transfer stall for it.
+        let cfg = FleetConfig::new(vec![
+            NodeSpec::sgprs("small", GpuSpec::synthetic(16)),
+            NodeSpec::sgprs("big", GpuSpec::rtx_2080_ti()),
+        ])
+        .with_migration(0.05)
+        .with_migration_cost(SimDuration::from_millis(100));
+        let mut fleet = Fleet::new(cfg);
+        for i in 0..6 {
+            fleet.nodes[0].tenants.push(tenant(i));
+        }
+        let m = fleet.run_events(ChurnTrace::new(), SimDuration::from_secs(3));
+        assert!(m.migrations > 0, "{m:?}");
+        assert!(
+            (m.migration_stall_secs - 0.1 * m.migrations as f64).abs() < 1e-9,
+            "each migration stalls for exactly the configured cost: {m:?}"
+        );
+        assert!(fleet.nodes()[0].tenants.len() < 6, "the small node shed load");
+        assert!(!fleet.nodes()[1].tenants.is_empty(), "the big node absorbed it");
+        assert_eq!(m.truncated_jobs, 0);
+    }
+
+    #[test]
+    fn migration_cost_survives_builder_order() {
+        // Regression: `with_migration` used to rebuild the whole
+        // MigrationConfig from its default, silently resetting a cost
+        // set earlier in the chain.
+        let cost = SimDuration::from_millis(500);
+        let early = FleetConfig::new(vec![NodeSpec::sgprs("g", GpuSpec::rtx_2080_ti())])
+            .with_migration_cost(cost)
+            .with_migration(0.1);
+        let late = FleetConfig::new(vec![NodeSpec::sgprs("g", GpuSpec::rtx_2080_ti())])
+            .with_migration(0.1)
+            .with_migration_cost(cost);
+        assert_eq!(early.migration.cost, cost, "cost set before with_migration");
+        assert_eq!(early.migration, late.migration, "builder order is irrelevant");
+        assert!(early.migration.enabled);
+    }
+
+    #[test]
+    fn reused_tenant_name_is_immune_to_its_predecessors_stale_events() {
+        // Regression: a departed tenant's still-pending JobCompletion /
+        // DeadlineCheck used to match a same-named successor (job serials
+        // restart at 0), clearing the new run's busy flag so it served
+        // overlapping jobs. Overload one node past its period (admission
+        // bound deliberately past capacity), churn the same name out and
+        // back in while the first incarnation's job is in flight, and
+        // pin the deterministic outcome.
+        let cfg = || {
+            let mut c = FleetConfig::new(vec![NodeSpec::sgprs("g", GpuSpec::synthetic(34))]);
+            c.admission.utilization_bound = 1.5;
+            c
+        };
+        let trace = || {
+            let mut trace = ChurnTrace::new();
+            for i in 0..16 {
+                trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(i)));
+            }
+            // Depart while cam-15's stretched first job is still
+            // running (arrivals interleave with releases, so the LAST
+            // arrival's first job is the one admitted at full load and
+            // still in flight here)…
+            trace.push(
+                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(38),
+                crate::ChurnEvent::Departure(tenant(15).name),
+            );
+            // …and reuse the name before that job's completion fires.
+            trace.push(
+                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(40),
+                crate::ChurnEvent::Arrival(tenant(15)),
+            );
+            trace
+        };
+        let horizon = SimDuration::from_secs(2);
+        let m = Fleet::new(cfg()).run_events(trace(), horizon);
+        assert_eq!(m.departures, 1);
+        assert_eq!(m.admitted, 17, "the reused name is re-admitted: {m:?}");
+        assert_eq!(m.truncated_jobs, 0);
+        // A guard regression trips the engine's overlapping-jobs
+        // debug assertion mid-run (verified by mutation); the pinned
+        // totals additionally lock the deterministic outcome.
+        assert_eq!(m, Fleet::new(cfg()).run_events(trace(), horizon));
+        let node = &m.nodes[0];
+        assert_eq!(
+            (node.released, node.completed, node.missed),
+            (976, 496, 964),
+            "stale-event immunity changed the served-frame accounting: {m:?}"
+        );
+    }
+
+    #[test]
+    fn departed_pre_run_waiter_does_not_shadow_a_reused_name() {
+        // Regression (both paths): a pre-run waiter departing mid-run
+        // used to leave its name in the pre-run set, so a later
+        // same-named deferred arrival that was eventually admitted
+        // matched the stale entry and was reported rejected.
+        let saturated = || {
+            let mut fleet = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
+                "small",
+                GpuSpec::synthetic(23),
+            )]));
+            let mut i = 0;
+            while matches!(fleet.dispatch(tenant(i)), DispatchOutcome::Placed(_)) {
+                i += 1;
+            }
+            // tenant(i) queued pre-run under the name the trace reuses.
+            (fleet, i)
+        };
+        let trace = |i: usize| {
+            let mut trace = ChurnTrace::new();
+            // The pre-run waiter departs while still queued (the epoch
+            // path applies this at the 1 s boundary — the granularity
+            // contract — so the name reuse below waits past it)…
+            trace.push(
+                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(100),
+                crate::ChurnEvent::Departure(tenant(i).name),
+            );
+            // …a fresh arrival reuses its name and must wait too…
+            trace.push(
+                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(1_200),
+                crate::ChurnEvent::Arrival(tenant(i)),
+            );
+            // …until a resident departs (applied at the 2 s boundary on
+            // the epoch path) and frees one slot.
+            trace.push(
+                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(1_400),
+                crate::ChurnEvent::Departure(tenant(0).name),
+            );
+            trace
+        };
+        for event_driven in [false, true] {
+            let (mut fleet, i) = saturated();
+            let horizon = SimDuration::from_secs(3);
+            let m = if event_driven {
+                fleet.run_events(trace(i), horizon)
+            } else {
+                fleet.run(trace(i), horizon)
+            };
+            assert_eq!(m.deferred, 1, "event={event_driven}: {m:?}");
+            assert_eq!(
+                m.admitted_after_wait, 1,
+                "event={event_driven}: the reused name is this run's deferral, \
+                 not the departed pre-run waiter: {m:?}"
+            );
+            assert_eq!(m.rejected, 0, "event={event_driven}: {m:?}");
+            assert!(m.queue_wait_mean_secs > 0.0, "event={event_driven}: {m:?}");
+        }
+    }
+
+    #[test]
+    fn run_configured_dispatches_on_the_event_flag() {
+        let trace = || ChurnTrace::static_population((0..3).map(tenant));
+        let horizon = SimDuration::from_secs(2);
+        let epoch = Fleet::new(three_node_fleet())
+            .run_configured(trace(), horizon);
+        let event = Fleet::new(three_node_fleet().with_event_driven())
+            .run_configured(trace(), horizon);
+        // The epoch path truncates the final in-flight job per tenant
+        // per epoch; the event path never does — the flag observably
+        // switched modes.
+        assert!(epoch.truncated_jobs > 0, "{epoch:?}");
+        assert_eq!(event.truncated_jobs, 0, "{event:?}");
+        assert_eq!(
+            epoch,
+            Fleet::new(three_node_fleet()).run(trace(), horizon),
+            "default mode is the classic epoch path, bit for bit"
+        );
     }
 
     #[test]

@@ -26,12 +26,20 @@
 //!   optional migration off overloaded nodes. Per-epoch node execution
 //!   fans out over scoped worker threads with bit-identical metrics
 //!   (see the determinism contract in the `fleet` module docs).
+//! * [`event`] — the discrete-event core behind [`Fleet::run_events`]:
+//!   a monotonic `(time, node, seq)` event queue carrying scheduler
+//!   state across what used to be epoch boundaries, so no in-flight job
+//!   is truncated; departures apply at exact instants and DMR-triggered
+//!   migration fires at job-release boundaries, paying the
+//!   [`MigrationConfig::cost`] state-transfer stall that re-pricing
+//!   partition switches never pay.
 //! * [`QueuePolicy`] / [`QueueConfig`] — the wait queue's retry order
-//!   (FIFO, priority-weight, earliest queue deadline) and the fps
-//!   re-pricing ladder: admit at a degraded [`TenantSpec::fps_ladder`]
-//!   step instead of rejecting, upgrade back in place when capacity
-//!   frees — both directions are SGPRS partition switches, never
-//!   migrations.
+//!   (FIFO, priority-weight, earliest queue deadline, weighted-fair
+//!   with aging so heavy streams cannot starve light waiters) and the
+//!   fps re-pricing ladder: admit at a degraded
+//!   [`TenantSpec::fps_ladder`] step instead of rejecting, upgrade back
+//!   in place when capacity frees — both directions are SGPRS partition
+//!   switches, never migrations.
 //! * [`ShardedFleet`] / [`ShardConfig`] — two-level dispatch: cached
 //!   per-shard capacity summaries route each arrival to a shard, the
 //!   placement policy runs inside it — O(shards + nodes/shard) instead
@@ -69,6 +77,7 @@
 
 mod admission;
 mod churn;
+pub mod event;
 mod fleet;
 mod metrics;
 mod node;
@@ -80,9 +89,11 @@ mod tenant;
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
 pub use churn::{ChurnConfig, ChurnEvent, ChurnTrace};
 pub use fleet::{DispatchOutcome, Fleet, FleetConfig, MigrationConfig};
-pub use queue::{QueueConfig, QueuePolicy};
+pub use queue::{QueueConfig, QueuePolicy, AGING_QUANTUM};
 pub use shard::{ShardConfig, ShardedFleet};
-pub use metrics::{FleetMetrics, FleetMetricsBuilder, NodeReport, UTILIZATION_BINS};
+pub use metrics::{
+    FleetMetrics, FleetMetricsBuilder, NodeReport, METRICS_SCHEMA_VERSION, UTILIZATION_BINS,
+};
 pub use node::{FleetNode, NodeScheduler, NodeSpec};
 pub use placement::{Placer, PlacementPolicy};
 pub use tenant::{ModelKind, TenantSpec};

@@ -13,6 +13,15 @@ use sgprs_rt::SimDuration;
 /// Number of bins in the utilisation histogram (`[0, 0.1) .. [0.9, ∞)`).
 pub const UTILIZATION_BINS: usize = 10;
 
+/// Version stamp of the [`FleetMetrics::to_json`] schema, exported as
+/// the `schema_version` field so downstream consumers can detect drift
+/// explicitly instead of by parse failure. Bump it whenever the golden
+/// snapshot in `tests/fleet_end_to_end.rs` changes shape.
+///
+/// History: 1 — implicit pre-versioning schema (through PR 3);
+/// 2 — adds `schema_version`, `truncated_jobs`, `migration_stall_secs`.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
+
 /// Accumulated results for one node across every epoch of a fleet run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeReport {
@@ -74,6 +83,20 @@ pub struct FleetMetrics {
     pub departures: u64,
     /// Tenants migrated off overloaded nodes.
     pub migrations: u64,
+    /// Jobs lost to epoch-boundary truncation: admitted and still in
+    /// flight when their epoch's window closed, so they count neither as
+    /// completed nor missed (<3 % at one-second epochs and the paper's
+    /// 33 ms periods). The epoch path counts them; the event path
+    /// ([`crate::Fleet::run_events`]) carries scheduler state across
+    /// boundaries and asserts this stays zero.
+    pub truncated_jobs: u64,
+    /// Total simulated seconds tenants spent stalled in migration state
+    /// transfers ([`crate::MigrationConfig::cost`], event path only).
+    /// Re-pricing partition switches contribute nothing here — that gap
+    /// is the paper's zero-cost-switching property, measured.
+    pub migration_stall_secs: f64,
+    /// The [`METRICS_SCHEMA_VERSION`] this report was rendered with.
+    pub schema_version: u32,
     /// Admissions at a degraded [`crate::TenantSpec::fps_ladder`] step —
     /// at arrival or out of the wait queue — instead of a rejection
     /// (requires [`crate::QueueConfig::repricing`]).
@@ -108,6 +131,10 @@ impl FleetMetrics {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
         out.push_str(&format!(
+            "  \"schema_version\": {},\n",
+            self.schema_version
+        ));
+        out.push_str(&format!(
             "  \"window_secs\": {:.3},\n",
             self.window.as_secs_f64()
         ));
@@ -126,6 +153,14 @@ impl FleetMetrics {
         out.push_str(&format!("  \"still_queued\": {},\n", self.still_queued));
         out.push_str(&format!("  \"departures\": {},\n", self.departures));
         out.push_str(&format!("  \"migrations\": {},\n", self.migrations));
+        out.push_str(&format!(
+            "  \"truncated_jobs\": {},\n",
+            self.truncated_jobs
+        ));
+        out.push_str(&format!(
+            "  \"migration_stall_secs\": {:.4},\n",
+            self.migration_stall_secs
+        ));
         out.push_str(&format!("  \"degraded\": {},\n", self.degraded));
         out.push_str(&format!("  \"upgrades\": {},\n", self.upgrades));
         out.push_str(&format!("  \"expired\": {},\n", self.expired));
@@ -215,6 +250,8 @@ pub struct FleetMetricsBuilder {
     pub(crate) degraded: u64,
     pub(crate) upgrades: u64,
     pub(crate) expired: u64,
+    truncated: u64,
+    migration_stall: SimDuration,
     wait_total: SimDuration,
     wait_max: SimDuration,
     wait_samples: u64,
@@ -247,6 +284,8 @@ impl FleetMetricsBuilder {
             degraded: 0,
             upgrades: 0,
             expired: 0,
+            truncated: 0,
+            migration_stall: SimDuration::ZERO,
             wait_total: SimDuration::ZERO,
             wait_max: SimDuration::ZERO,
             wait_samples: 0,
@@ -262,11 +301,42 @@ impl FleetMetricsBuilder {
         self.wait_samples += 1;
     }
 
-    /// Folds one epoch's scheduler metrics for node `node`.
+    /// Folds one epoch's scheduler metrics for node `node`. Releases the
+    /// epoch admitted but neither completed nor dropped were in flight
+    /// when the window closed — the epoch-boundary truncation artifact,
+    /// surfaced as [`FleetMetrics::truncated_jobs`].
     pub fn record_epoch(&mut self, node: usize, m: &RunMetrics) {
         self.released[node] += m.released;
         self.completed[node] += m.completed;
         self.missed[node] += m.late + m.skipped + m.dropped;
+        self.truncated += m
+            .released
+            .saturating_sub(m.completed + m.skipped + m.dropped);
+    }
+
+    /// Records one frame release of node `node` (event path).
+    pub fn record_released(&mut self, node: usize) {
+        self.released[node] += 1;
+    }
+
+    /// Records one job completion of node `node` (event path); a late
+    /// completion is also a miss.
+    pub fn record_completed(&mut self, node: usize, late: bool) {
+        self.completed[node] += 1;
+        if late {
+            self.missed[node] += 1;
+        }
+    }
+
+    /// Records one skipped (dropped-at-release) frame of node `node`
+    /// (event path): released but never served, counted as a miss.
+    pub fn record_skipped(&mut self, node: usize) {
+        self.missed[node] += 1;
+    }
+
+    /// Adds one migration's state-transfer stall (event path).
+    pub fn record_migration_stall(&mut self, stall: SimDuration) {
+        self.migration_stall += stall;
     }
 
     /// Records a node's admission utilisation (demand/budget) for one
@@ -346,6 +416,9 @@ impl FleetMetricsBuilder {
             degraded: self.degraded,
             upgrades: self.upgrades,
             expired: self.expired,
+            truncated_jobs: self.truncated,
+            migration_stall_secs: self.migration_stall.as_secs_f64(),
+            schema_version: METRICS_SCHEMA_VERSION,
             queue_wait_mean_secs: if self.wait_samples > 0 {
                 self.wait_total.as_secs_f64() / self.wait_samples as f64
             } else {
@@ -432,9 +505,16 @@ mod tests {
         b.expired = 1;
         b.record_wait(SimDuration::from_secs(1));
         b.record_wait(SimDuration::from_secs(3));
+        b.record_migration_stall(SimDuration::from_millis(250));
         let m = b.finish(SimDuration::from_secs(1), &[1], 1);
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(
+            json.starts_with("{\n  \"schema_version\": 2,"),
+            "the schema version leads the export: {json}"
+        );
+        assert!(json.contains("\"truncated_jobs\": 0"));
+        assert!(json.contains("\"migration_stall_secs\": 0.2500"));
         assert!(json.contains("\"rejection_rate\": 0.5000"));
         assert!(json.contains("\"deferred\": 1"));
         assert!(json.contains("\"duplicates\": 3"));
@@ -449,6 +529,54 @@ mod tests {
             json.matches('}').count(),
             "balanced braces"
         );
+    }
+
+    #[test]
+    fn epoch_folds_count_truncated_in_flight_jobs() {
+        // Three releases: one completed, one skipped, one neither — the
+        // last was in flight when the epoch window closed.
+        let mut c = sgprs_core::MetricsCollector::new(vec!["t".into()], SimTime::ZERO);
+        let t0 = SimTime::ZERO + SimDuration::from_millis(33);
+        c.record_release(0, t0);
+        c.record_completion(0, t0, t0 + SimDuration::from_millis(10), t0 + SimDuration::from_millis(33));
+        let t1 = t0 + SimDuration::from_millis(33);
+        c.record_release(0, t1);
+        c.record_skip(0, t1);
+        let t2 = t1 + SimDuration::from_millis(33);
+        c.record_release(0, t2);
+        let epoch = c.finish(t2 + SimDuration::from_millis(20));
+        assert_eq!(epoch.released, 3);
+        assert_eq!(epoch.completed, 1);
+        assert_eq!(epoch.skipped, 1);
+        let mut b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+        b.record_epoch(0, &epoch);
+        let m = b.finish(SimDuration::from_secs(1), &[0], 0);
+        assert_eq!(
+            m.truncated_jobs, 1,
+            "the in-flight release is the truncation artifact: {m:?}"
+        );
+        assert!(m.to_json().contains("\"truncated_jobs\": 1"));
+    }
+
+    #[test]
+    fn event_records_accumulate_like_an_epoch_fold() {
+        let mut b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+        for _ in 0..10 {
+            b.record_released(0);
+        }
+        for i in 0..7 {
+            b.record_completed(0, i < 2); // two late
+        }
+        b.record_skipped(0);
+        let m = b.finish(SimDuration::from_secs(1), &[0], 0);
+        assert_eq!(m.nodes[0].released, 10);
+        assert_eq!(m.nodes[0].completed, 7);
+        assert_eq!(m.nodes[0].missed, 3, "2 late + 1 skipped");
+        assert_eq!(
+            m.truncated_jobs, 0,
+            "event-path records never touch the truncation counter"
+        );
+        assert!((m.nodes[0].dmr - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 use sgprs_cluster::{
-    ChurnConfig, ChurnTrace, Fleet, FleetConfig, FleetMetrics, ModelKind, NodeSpec,
-    PlacementPolicy, QueuePolicy, TenantSpec,
+    ChurnConfig, ChurnTrace, Fleet, FleetConfig, FleetMetrics, ModelKind, NodeScheduler,
+    NodeSpec, PlacementPolicy, QueuePolicy, TenantSpec,
 };
 use sgprs_gpu_sim::GpuSpec;
 use sgprs_rt::SimDuration;
@@ -54,9 +54,41 @@ pub struct FleetScenario {
     /// Enable the fps re-pricing ladder (admit degraded instead of
     /// rejecting, upgrade back as capacity frees).
     pub repricing: bool,
+    /// DMR threshold enabling migration off overloaded nodes
+    /// (`None` = migration off).
+    pub migration: Option<f64>,
+    /// Overrides the admission utilisation bound (`None` keeps the
+    /// default 0.9). Values at or above 1.0 deliberately admit past the
+    /// fluid headroom — the overload regime migration studies need.
+    pub admission_bound: Option<f64>,
+    /// Run the fleet in event-driven mode ([`Fleet::run_events`]):
+    /// exact release/departure boundaries, zero truncation, and the
+    /// migration stall cost model. Off = the classic epoch path.
+    pub event_driven: bool,
 }
 
 impl FleetScenario {
+    /// The shared scenario skeleton: least-utilisation placement, the
+    /// reference seed, flat dispatch, FIFO queueing, and every optional
+    /// knob off. Constructors customise on top via struct update, so a
+    /// new knob is added (and defaulted) in exactly one place.
+    fn base(label: String, nodes: Vec<NodeSpec>, load: TenantLoad, sim_secs: u64) -> Self {
+        FleetScenario {
+            label,
+            nodes,
+            placement: PlacementPolicy::LeastUtilization,
+            load,
+            sim: SimDuration::from_secs(sim_secs),
+            seed: 0x5672_5053,
+            sharding: None,
+            queue_policy: QueuePolicy::Fifo,
+            repricing: false,
+            migration: None,
+            admission_bound: None,
+            event_driven: false,
+        }
+    }
+
     /// A homogeneous fleet of `n_nodes` paper GPUs (RTX 2080 Ti, SGPRS at
     /// `np = 3`, `os = 1.5`) serving `tenants` identical ResNet18 feeds
     /// at the paper's 30 fps.
@@ -65,21 +97,16 @@ impl FleetScenario {
         let nodes = (0..n_nodes)
             .map(|i| NodeSpec::sgprs(format!("gpu{i}"), GpuSpec::rtx_2080_ti()))
             .collect();
-        FleetScenario {
-            label: format!("homogeneous x{n_nodes} ({tenants} tenants)"),
+        FleetScenario::base(
+            format!("homogeneous x{n_nodes} ({tenants} tenants)"),
             nodes,
-            placement: PlacementPolicy::LeastUtilization,
-            load: TenantLoad::Static {
+            TenantLoad::Static {
                 n: tenants,
                 model: ModelKind::ResNet18,
                 fps: crate::PAPER_FPS,
             },
-            sim: SimDuration::from_secs(sim_secs),
-            seed: 0x5672_5053,
-            sharding: None,
-            queue_policy: QueuePolicy::Fifo,
-            repricing: false,
-        }
+            sim_secs,
+        )
     }
 
     /// A heterogeneous four-GPU fleet — a full 2080 Ti plus 46-, 34-, and
@@ -89,11 +116,10 @@ impl FleetScenario {
     /// its period on any node, so admission (correctly) never places it.
     #[must_use]
     pub fn heterogeneous_churn(sim_secs: u64) -> Self {
-        FleetScenario {
-            label: "heterogeneous x4 + churn".into(),
-            nodes: heterogeneous_nodes(),
-            placement: PlacementPolicy::LeastUtilization,
-            load: TenantLoad::Churn(ChurnConfig {
+        FleetScenario::base(
+            "heterogeneous x4 + churn".into(),
+            heterogeneous_nodes(),
+            TenantLoad::Churn(ChurnConfig {
                 mean_interarrival: SimDuration::from_millis(250),
                 min_lifetime: SimDuration::from_secs(2),
                 max_lifetime: SimDuration::from_secs(10),
@@ -106,12 +132,8 @@ impl FleetScenario {
                 stages: crate::PAPER_STAGES,
                 ..ChurnConfig::default()
             }),
-            sim: SimDuration::from_secs(sim_secs),
-            seed: 0x5672_5053,
-            sharding: None,
-            queue_policy: QueuePolicy::Fifo,
-            repricing: false,
-        }
+            sim_secs,
+        )
     }
 
     /// A scale-out fleet of `n_nodes` (the 64–256 node regime where flat
@@ -143,27 +165,25 @@ impl FleetScenario {
         let mean_interarrival =
             SimDuration::from_nanos((500_000_000 / n_nodes as u64).max(1_000_000));
         FleetScenario {
-            label: format!("scale-out x{n_nodes} + churn [sharded/8]"),
-            nodes,
-            placement: PlacementPolicy::LeastUtilization,
-            load: TenantLoad::Churn(ChurnConfig {
-                mean_interarrival,
-                min_lifetime: SimDuration::from_secs(2),
-                max_lifetime: SimDuration::from_secs(12),
-                mix: vec![
-                    (ModelKind::ResNet18, 6),
-                    (ModelKind::MobileNet, 3),
-                    (ModelKind::ResNet34, 1),
-                ],
-                fps: crate::PAPER_FPS,
-                stages: crate::PAPER_STAGES,
-                ..ChurnConfig::default()
-            }),
-            sim: SimDuration::from_secs(sim_secs),
-            seed: 0x5672_5053,
             sharding: Some(8),
-            queue_policy: QueuePolicy::Fifo,
-            repricing: false,
+            ..FleetScenario::base(
+                format!("scale-out x{n_nodes} + churn [sharded/8]"),
+                nodes,
+                TenantLoad::Churn(ChurnConfig {
+                    mean_interarrival,
+                    min_lifetime: SimDuration::from_secs(2),
+                    max_lifetime: SimDuration::from_secs(12),
+                    mix: vec![
+                        (ModelKind::ResNet18, 6),
+                        (ModelKind::MobileNet, 3),
+                        (ModelKind::ResNet34, 1),
+                    ],
+                    fps: crate::PAPER_FPS,
+                    stages: crate::PAPER_STAGES,
+                    ..ChurnConfig::default()
+                }),
+                sim_secs,
+            )
         }
     }
 
@@ -180,14 +200,13 @@ impl FleetScenario {
     /// strictly lower eventual rejection rate.
     #[must_use]
     pub fn overload_burst(sim_secs: u64) -> Self {
-        FleetScenario {
-            label: "overload burst x2".into(),
-            nodes: vec![
+        FleetScenario::base(
+            "overload burst x2".into(),
+            vec![
                 NodeSpec::sgprs("gpu0-68sm", GpuSpec::rtx_2080_ti()),
                 NodeSpec::sgprs("gpu1-34sm", GpuSpec::synthetic(34)),
             ],
-            placement: PlacementPolicy::LeastUtilization,
-            load: TenantLoad::Churn(ChurnConfig {
+            TenantLoad::Churn(ChurnConfig {
                 mean_interarrival: SimDuration::from_millis(50),
                 min_lifetime: SimDuration::from_secs(2),
                 max_lifetime: SimDuration::from_secs(5),
@@ -197,11 +216,42 @@ impl FleetScenario {
                 fps_ladder: vec![24.0, 15.0, 10.0],
                 max_wait: Some(SimDuration::from_secs(2)),
             }),
-            sim: SimDuration::from_secs(sim_secs),
-            seed: 0x5672_5053,
-            sharding: None,
-            queue_policy: QueuePolicy::Fifo,
-            repricing: false,
+            sim_secs,
+        )
+    }
+
+    /// The event-vs-epoch contrast: three paper GPUs, one of them
+    /// running the naive partitioner, admission deliberately at the full
+    /// fluid bound (1.0), and a static population heavy enough that the
+    /// naive node — whose sequential execution and partition-switch tax
+    /// admission cannot see — runs hot while the SGPRS nodes keep
+    /// headroom. With migration armed, the epoch path sheds load once
+    /// per epoch boundary (and truncates every in-flight job it cuts),
+    /// while the event-driven variant
+    /// ([`FleetScenario::with_event_driven`]) migrates at the exact
+    /// job-release boundary that crossed the threshold and pays the
+    /// explicit state-transfer stall — same trace, same rejections
+    /// (none), lower DMR, zero truncation.
+    #[must_use]
+    pub fn event_vs_epoch(sim_secs: u64) -> Self {
+        FleetScenario {
+            migration: Some(0.1),
+            admission_bound: Some(1.0),
+            ..FleetScenario::base(
+                "event vs epoch x3 (hot naive node)".into(),
+                vec![
+                    NodeSpec::sgprs("gpu0-naive", GpuSpec::rtx_2080_ti())
+                        .with_scheduler(NodeScheduler::Naive),
+                    NodeSpec::sgprs("gpu1", GpuSpec::rtx_2080_ti()),
+                    NodeSpec::sgprs("gpu2", GpuSpec::rtx_2080_ti()),
+                ],
+                TenantLoad::Static {
+                    n: 50,
+                    model: ModelKind::ResNet18,
+                    fps: crate::PAPER_FPS,
+                },
+                sim_secs,
+            )
         }
     }
 
@@ -213,6 +263,24 @@ impl FleetScenario {
         self.repricing = repricing;
         let pricing = if repricing { "+repricing" } else { "" };
         self.label = format!("{} [{policy}{pricing}]", self.label);
+        self
+    }
+
+    /// Enables migration off overloaded nodes at the given DMR
+    /// threshold (relabels like [`FleetScenario::with_placement`]).
+    #[must_use]
+    pub fn with_migration(mut self, dmr_threshold: f64) -> Self {
+        self.migration = Some(dmr_threshold);
+        self.label = format!("{} [migration@{dmr_threshold}]", self.label);
+        self
+    }
+
+    /// Switches the scenario to event-driven execution
+    /// ([`Fleet::run_events`]) and relabels it.
+    #[must_use]
+    pub fn with_event_driven(mut self) -> Self {
+        self.event_driven = true;
+        self.label = format!("{} [event-driven]", self.label);
         self
     }
 
@@ -242,7 +310,8 @@ impl FleetScenario {
         }
     }
 
-    /// Runs the scenario and returns the fleet metrics.
+    /// Runs the scenario and returns the fleet metrics (epoch-driven,
+    /// or event-driven when [`FleetScenario::event_driven`] is set).
     #[must_use]
     pub fn run(&self) -> FleetMetrics {
         let mut cfg = FleetConfig::new(self.nodes.clone())
@@ -255,7 +324,16 @@ impl FleetScenario {
         if let Some(shard_size) = self.sharding {
             cfg = cfg.with_sharding(shard_size);
         }
-        Fleet::new(cfg).run(self.trace(), self.sim)
+        if let Some(threshold) = self.migration {
+            cfg = cfg.with_migration(threshold);
+        }
+        if let Some(bound) = self.admission_bound {
+            cfg.admission.utilization_bound = bound;
+        }
+        if self.event_driven {
+            cfg = cfg.with_event_driven();
+        }
+        Fleet::new(cfg).run_configured(self.trace(), self.sim)
     }
 }
 
@@ -319,6 +397,20 @@ mod tests {
         assert!(fifo_m.rejected > 0, "the burst must overload: {fifo_m:?}");
         assert_eq!(fifo_m.degraded, 0, "baseline never re-prices");
         assert!(smart_m.degraded > 0, "the ladder absorbs overload: {smart_m:?}");
+    }
+
+    #[test]
+    fn event_vs_epoch_scenario_contrasts_the_modes() {
+        let epoch = FleetScenario::event_vs_epoch(4);
+        let event = FleetScenario::event_vs_epoch(4).with_event_driven();
+        assert!(event.label.contains("event-driven"));
+        assert_eq!(epoch.trace(), event.trace(), "same offered load");
+        let epoch_m = epoch.run();
+        let event_m = event.run();
+        assert_eq!(event_m.truncated_jobs, 0, "{event_m:?}");
+        assert!(epoch_m.truncated_jobs > 0, "{epoch_m:?}");
+        assert_eq!(epoch_m.rejection_rate, event_m.rejection_rate);
+        assert!(event_m.migrations > 0 && event_m.migration_stall_secs > 0.0);
     }
 
     #[test]

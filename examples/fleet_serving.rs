@@ -50,4 +50,33 @@ fn main() {
         smart_m.rejection_rate <= fifo_m.rejection_rate,
         "re-pricing must never reject more than FIFO-reject"
     );
+
+    // The event-driven contrast: the same hot-naive-node scenario on the
+    // epoch grid and on the discrete-event engine — exact boundaries,
+    // zero truncation, and migrations that pay a real state-transfer
+    // stall while re-pricing switches stay free.
+    let epoch = FleetScenario::event_vs_epoch(6);
+    let event = FleetScenario::event_vs_epoch(6).with_event_driven();
+    eprintln!("running `{}` vs `{}` ...", epoch.label, event.label);
+    let epoch_m = epoch.run();
+    let event_m = event.run();
+    eprintln!(
+        "epoch grid: DMR {:.2}%, {} migrations (free), {} jobs truncated | event-driven: \
+         DMR {:.2}%, {} migrations paying {:.2}s stall, {} truncated",
+        epoch_m.dmr * 100.0,
+        epoch_m.migrations,
+        epoch_m.truncated_jobs,
+        event_m.dmr * 100.0,
+        event_m.migrations,
+        event_m.migration_stall_secs,
+        event_m.truncated_jobs
+    );
+    assert_eq!(
+        event_m.truncated_jobs, 0,
+        "the event path must never truncate a job"
+    );
+    assert!(
+        epoch_m.truncated_jobs > 0,
+        "the epoch grid shows the truncation artifact this scenario surfaces"
+    );
 }

@@ -19,11 +19,16 @@
 //!   sharded via `cluster::ShardedFleet` for 64-node-and-up fleets),
 //!   utilisation-bound admission control, placement policies,
 //!   policy-ordered wait queueing (`cluster::QueuePolicy`: FIFO,
-//!   priority-weight, earliest queue deadline) with an fps re-pricing
-//!   ladder (admit degraded instead of rejecting, upgrade back in place
-//!   as capacity frees), tenant churn, migration, parallel per-epoch
-//!   node execution with deterministic metrics, and fleet-level metrics
-//!   with a golden-pinned JSON schema.
+//!   priority-weight, earliest queue deadline, weighted-fair with
+//!   aging) with an fps re-pricing ladder (admit degraded instead of
+//!   rejecting, upgrade back in place as capacity frees), tenant churn,
+//!   migration, parallel per-epoch node execution with deterministic
+//!   metrics, and fleet-level metrics with a golden-pinned,
+//!   schema-versioned JSON export. Two execution modes: the classic
+//!   epoch grid, and the `cluster::event` discrete-event core
+//!   (`Fleet::run_events`) — exact release/departure boundaries, zero
+//!   epoch truncation, and mid-epoch migration paying an explicit
+//!   state-transfer stall while re-pricing switches stay free.
 //! * [`workload`] — scenarios and sweeps reproducing the paper's figures
 //!   and the fleet-serving experiments beyond them.
 

@@ -203,6 +203,112 @@ fn deadline_repricing_beats_fifo_reject_on_the_overload_burst() {
     }
 }
 
+/// The event-driven determinism matrix, mirroring the epoch matrix
+/// above: on the heterogeneous churn scenario, `Fleet::run_events`
+/// produces byte-identical `FleetMetrics` JSON across worker counts
+/// {1, 4} × {flat, sharded} (the event engine is single-threaded — the
+/// worker knob must be inert — and the single whole-fleet shard provably
+/// routes through the identical placement scan). The event path also
+/// reports zero truncated jobs, where the epoch path on the same trace
+/// reports the boundary artifact.
+#[test]
+fn event_driven_metrics_identical_across_workers_and_dispatch() {
+    let scenario = FleetScenario::heterogeneous_churn(4);
+    let run = |workers: usize, sharded: bool| {
+        let mut cfg = FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .with_workers(workers);
+        if sharded {
+            cfg = cfg.with_sharding(scenario.nodes.len());
+        }
+        Fleet::new(cfg).run_events(scenario.trace(), scenario.sim)
+    };
+    let reference = run(1, false);
+    assert_eq!(reference.truncated_jobs, 0, "the event path never truncates");
+    let reference_json = reference.to_json();
+    for workers in [1usize, 4] {
+        for sharded in [false, true] {
+            assert_eq!(
+                run(workers, sharded).to_json(),
+                reference_json,
+                "workers={workers} sharded={sharded} must be byte-identical \
+                 to the event-driven reference"
+            );
+        }
+    }
+    // The same trace on the epoch grid shows the truncation artifact the
+    // event path removes.
+    let epoch = Fleet::new(
+        FleetConfig::new(scenario.nodes.clone()).with_seed(scenario.seed),
+    )
+    .run(scenario.trace(), scenario.sim);
+    assert!(
+        epoch.truncated_jobs > 0,
+        "the epoch path truncates in-flight jobs at boundaries: {epoch:?}"
+    );
+}
+
+/// The migration cost model acceptance criterion: on the hot-naive-node
+/// overload scenario with migration enabled, mid-epoch migration at
+/// job-release boundaries (event path) yields DMR ≤ the epoch-boundary
+/// path at equal rejection rate, and the event path's migrations pay a
+/// nonzero state-transfer stall — while re-pricing partition switches,
+/// in the same execution mode, report zero stall.
+#[test]
+fn event_migration_beats_epoch_migration_and_pays_an_explicit_stall() {
+    let epoch = FleetScenario::event_vs_epoch(6);
+    let event = FleetScenario::event_vs_epoch(6).with_event_driven();
+    assert_eq!(epoch.trace(), event.trace(), "same offered load");
+    let epoch_m = epoch.run();
+    let event_m = event.run();
+    assert_eq!(
+        epoch_m.rejection_rate, event_m.rejection_rate,
+        "the contrast holds at equal rejection rate"
+    );
+    assert!(
+        epoch_m.migrations > 0,
+        "the hot naive node must trigger epoch-boundary migration: {epoch_m:?}"
+    );
+    assert!(
+        event_m.migrations > 0,
+        "and release-boundary migration in event mode: {event_m:?}"
+    );
+    assert!(
+        event_m.dmr <= epoch_m.dmr,
+        "mid-epoch migration reacts faster: event DMR {:.4} vs epoch {:.4}",
+        event_m.dmr,
+        epoch_m.dmr
+    );
+    assert!(
+        event_m.migration_stall_secs > 0.0,
+        "migrations pay the state-transfer stall: {event_m:?}"
+    );
+    assert_eq!(
+        epoch_m.migration_stall_secs, 0.0,
+        "the epoch path keeps its pre-existing free-migration contract"
+    );
+    assert_eq!(event_m.truncated_jobs, 0);
+    assert!(epoch_m.truncated_jobs > 0);
+
+    // The flip side of the cost model: re-pricing degrade/upgrade
+    // switches are SGPRS partition switches — the same event-driven
+    // engine reports zero stall for a run that exercises them heavily.
+    let repriced = FleetScenario::overload_burst(6)
+        .with_queue(QueuePolicy::EarliestDeadline, true)
+        .with_event_driven();
+    let repriced_m = repriced.run();
+    assert!(
+        repriced_m.degraded > 0 && repriced_m.upgrades > 0,
+        "the ladder was exercised in event mode: {repriced_m:?}"
+    );
+    assert_eq!(
+        repriced_m.migration_stall_secs, 0.0,
+        "partition switches never pay the migration stall"
+    );
+    assert_eq!(repriced_m.migrations, 0);
+    assert_eq!(repriced_m.truncated_jobs, 0);
+}
+
 /// Golden snapshot of the `FleetMetrics::to_json` schema: field names,
 /// order, and formatting are pinned so metric renames (or the new
 /// queue/degrade counters) cannot silently break downstream consumers.
@@ -239,6 +345,7 @@ fn fleet_metrics_json_schema_matches_golden_snapshot() {
     let json = b.finish(SimDuration::from_secs(2), &[1, 0], 1).to_json();
     let golden = "\
 {
+  \"schema_version\": 2,
   \"window_secs\": 2.000,
   \"total_fps\": 1.50,
   \"dmr\": 0.5000,
@@ -252,6 +359,8 @@ fn fleet_metrics_json_schema_matches_golden_snapshot() {
   \"still_queued\": 1,
   \"departures\": 0,
   \"migrations\": 0,
+  \"truncated_jobs\": 0,
+  \"migration_stall_secs\": 0.0000,
   \"degraded\": 0,
   \"upgrades\": 0,
   \"expired\": 0,
