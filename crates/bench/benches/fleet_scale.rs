@@ -1,9 +1,16 @@
-//! Criterion bench for fleet **scale-out**: flat vs sharded dispatch
-//! planning at 64–256 nodes (the per-arrival hot path), and sequential
-//! vs parallel per-epoch node execution (the per-epoch wall-clock).
+//! Criterion bench for fleet **scale-out**: the per-arrival planning
+//! hot path at 256–1024 nodes — flat O(nodes) scan vs the ordered
+//! shard scan vs power-of-two-choices routing (whose cost is
+//! independent of the shard count, so its `dispatch_plan` line should
+//! stay flat from 256 to 1024 nodes while the flat scan grows
+//! linearly) — plus sequential vs parallel per-epoch node execution
+//! (the per-epoch wall-clock).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sgprs_cluster::{ChurnTrace, DispatchOutcome, Fleet, FleetConfig, ModelKind, NodeSpec, TenantSpec};
+use sgprs_cluster::{
+    ChurnTrace, DispatchOutcome, Fleet, FleetConfig, ModelKind, NodeSpec, ShardRouter,
+    TenantSpec,
+};
 use sgprs_gpu_sim::GpuSpec;
 use sgprs_rt::SimDuration;
 use std::hint::black_box;
@@ -14,13 +21,22 @@ fn node_specs(n_nodes: usize) -> Vec<NodeSpec> {
         .collect()
 }
 
+/// How the benched fleet routes arrivals.
+#[derive(Clone, Copy)]
+enum Dispatch {
+    Flat,
+    Sharded(usize, ShardRouter),
+}
+
 /// A fleet pre-loaded through its own dispatcher so shard summaries and
 /// resident populations match a live serving state.
-fn loaded_fleet(n_nodes: usize, resident_per_node: usize, shard_size: Option<usize>) -> Fleet {
+fn loaded_fleet(n_nodes: usize, resident_per_node: usize, dispatch: Dispatch) -> Fleet {
     let mut cfg = FleetConfig::new(node_specs(n_nodes));
-    if let Some(size) = shard_size {
-        cfg = cfg.with_sharding(size);
-    }
+    cfg = match dispatch {
+        Dispatch::Flat => cfg,
+        Dispatch::Sharded(size, ShardRouter::Scan) => cfg.with_sharding(size),
+        Dispatch::Sharded(size, ShardRouter::P2c) => cfg.with_p2c_sharding(size),
+    };
     let mut fleet = Fleet::new(cfg);
     for i in 0..n_nodes * resident_per_node {
         let outcome = fleet.dispatch(TenantSpec::new(
@@ -37,14 +53,19 @@ fn loaded_fleet(n_nodes: usize, resident_per_node: usize, shard_size: Option<usi
 }
 
 /// The per-arrival placement decision (no commit): flat O(nodes) scan
-/// vs two-level shard routing.
+/// vs the ordered shard scan vs power-of-two-choices routing, at the
+/// 256/512/1024-node sizes the metro scenario dispatches in.
 fn bench_dispatch_plan(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_plan");
     group.sample_size(10);
     let candidate = TenantSpec::new("probe", ModelKind::ResNet18, 30.0);
-    for n_nodes in [64usize, 128, 256] {
-        for (label, shard_size) in [("flat", None), ("sharded8", Some(8))] {
-            let mut fleet = loaded_fleet(n_nodes, 8, shard_size);
+    for n_nodes in [256usize, 512, 1024] {
+        for (label, dispatch) in [
+            ("flat", Dispatch::Flat),
+            ("sharded8", Dispatch::Sharded(8, ShardRouter::Scan)),
+            ("p2c8", Dispatch::Sharded(8, ShardRouter::P2c)),
+        ] {
+            let mut fleet = loaded_fleet(n_nodes, 8, dispatch);
             group.bench_with_input(BenchmarkId::new(label, n_nodes), &n_nodes, |b, _| {
                 b.iter(|| black_box(fleet.plan(black_box(&candidate))))
             });

@@ -3,9 +3,11 @@
 //! over both a homogeneous scale-out and the heterogeneous reference
 //! fleet, a 64-node flat-vs-sharded dispatch comparison, an overload
 //! burst contrasting FIFO-reject with deadline-aware queueing plus fps
-//! re-pricing, and an event-vs-epoch contrast (exact-boundary
-//! dispatching with a migration stall cost vs the epoch grid and its
-//! truncation artifact). Every row carries the run's wall-clock so
+//! re-pricing, an event-vs-epoch contrast (exact-boundary dispatching
+//! with a migration stall cost vs the epoch grid and its truncation
+//! artifact), and a 512-node metro-scale section driving
+//! power-of-two-choices shard routing through churn + burst waves in
+//! both engines. Every row carries the run's wall-clock so
 //! dispatch-layer changes show up.
 //!
 //! Usage: `cargo run --release -p sgprs-bench --bin fleet [--sim-secs N] [--csv]`
@@ -160,6 +162,29 @@ fn main() {
             event_m.migrations,
             event_m.migration_stall_secs,
             epoch_m.migrations
+        );
+        println!();
+        header("metro-scale x512: p2c shard routing under churn + bursts");
+    }
+    // The metro-scale smoke: 512 heterogeneous nodes behind
+    // power-of-two-choices routing, brisk churn plus synchronized burst
+    // waves, served by both engines over the same trace.
+    let metro_epoch = FleetScenario::metro_scale(512, sim_secs);
+    let metro_event = FleetScenario::metro_scale(512, sim_secs).with_event_driven();
+    let (metro_epoch_m, metro_epoch_ms) = timed_run(&metro_epoch);
+    let (metro_event_m, metro_event_ms) = timed_run(&metro_event);
+    report(&metro_epoch.label, "epoch-grid", &metro_epoch_m, metro_epoch_ms, csv);
+    report(&metro_event.label, "event-driven", &metro_event_m, metro_event_ms, csv);
+    if !csv {
+        println!();
+        println!(
+            "512 nodes: {} arrivals routed p2c, {:.0}/{:.0} fleet FPS (epoch/event), \
+             wall {:.0} ms vs {:.0} ms",
+            metro_epoch_m.arrivals,
+            metro_epoch_m.total_fps,
+            metro_event_m.total_fps,
+            metro_epoch_ms,
+            metro_event_ms
         );
     }
 }

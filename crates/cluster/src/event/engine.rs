@@ -11,6 +11,7 @@
 use super::exec::{FluidExec, MissWindow};
 use super::{EventKind, EventQueue, NODE_FLEET};
 use crate::fleet::Fleet;
+use crate::policy::{self, FleetState};
 use crate::{ChurnEvent, ChurnTrace, DispatchOutcome, FleetMetrics, FleetMetricsBuilder};
 use sgprs_rt::{SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -125,6 +126,13 @@ impl Engine<'_> {
         for patience in waiting_patience {
             self.schedule_expiry(SimTime::ZERO, patience);
         }
+        // Carried-over waiters get a demand-aware sweep at the start,
+        // matching the epoch path's first boundary: a provably hopeless
+        // pre-run waiter must not sit in the queue forever just because
+        // it arrived before this run.
+        if self.fleet.cfg.queue.demand_aware_expiry && self.fleet.queue.len() > 0 {
+            self.events.push(SimTime::ZERO, NODE_FLEET, EventKind::QueueExpire);
+        }
         for (at, event) in trace.into_sorted() {
             if at >= self.end {
                 continue;
@@ -219,43 +227,46 @@ impl Engine<'_> {
     }
 
     fn on_arrival(&mut self, t: SimTime, tenant: crate::TenantSpec) {
-        self.builder.arrivals += 1;
         let name = tenant.name.clone();
         let patience = tenant.max_wait;
-        match self.fleet.dispatch(tenant) {
+        // The shared kernel + accounting path (identical to the epoch
+        // engine); only the event bookkeeping below is mode-specific.
+        match self.fleet.dispatch_accounted(tenant, &mut self.builder) {
             DispatchOutcome::Placed(idx) => {
-                self.builder.admitted += 1;
                 self.exec.invalidate();
                 self.start_run(name, idx, t);
             }
             DispatchOutcome::PlacedDegraded { node, .. } => {
-                self.builder.admitted += 1;
-                self.builder.degraded += 1;
                 self.exec.invalidate();
                 self.start_run(name, node, t);
             }
             DispatchOutcome::Queued => {
-                self.builder.deferred += 1;
                 if let Some(patience) = patience {
                     self.schedule_expiry(t, patience);
                 }
+                if self.fleet.cfg.queue.demand_aware_expiry {
+                    // Hopelessness is load-independent, so one sweep at
+                    // the enqueue instant decides the waiter's fate at
+                    // the same decision point the epoch path uses (its
+                    // next boundary sweep).
+                    self.events.push(t, NODE_FLEET, EventKind::QueueExpire);
+                }
             }
-            DispatchOutcome::Infeasible => self.builder.infeasible += 1,
-            DispatchOutcome::Duplicate => self.builder.duplicates += 1,
+            DispatchOutcome::Infeasible | DispatchOutcome::Duplicate => {}
         }
     }
 
     fn on_departure(&mut self, t: SimTime, name: &str) {
         let was_resident = self.fleet.locate(name).is_some();
-        if self.fleet.remove(name) {
-            self.builder.departures += 1;
+        // Shared removal accounting (departure count + pre-run-name
+        // hygiene) — identical to the epoch path by construction.
+        if self
+            .fleet
+            .remove_accounted(name, &mut self.builder, &mut self.pre_run_queued)
+        {
             // Future releases die with the run entry; a job already in
             // flight still completes (its event carries all it needs).
             self.runs.remove(name);
-            // A departing pre-run waiter must not leave its name behind:
-            // a later same-named deferred arrival would match the stale
-            // entry and be miscounted as rejected.
-            self.pre_run_queued.remove(name);
             if was_resident {
                 self.exec.invalidate();
                 self.drain_and_upgrade(t);
@@ -427,23 +438,34 @@ impl Engine<'_> {
         if self.windows[idx].dmr(t, span) <= threshold {
             return;
         }
-        let Some(victim) = self.fleet.nodes[idx].tenants.pop() else {
+        // Same victim policy as the epoch path — the shared kernel's
+        // selection, LIFO by default, demand-aware when configured.
+        let Some(slot) = policy::select_migration_victim(
+            &self.fleet.nodes[idx],
+            &self.fleet.admission,
+            self.fleet.cfg.migration.victim,
+        ) else {
             return;
         };
+        let victim = self.fleet.nodes[idx].tenants.remove(slot);
         let dmrs: Vec<f64> = (0..self.fleet.nodes.len())
             .map(|j| self.windows[j].dmr(t, span))
             .collect();
         // Same destination policy as the epoch path, fed the windowed
         // estimates instead of per-epoch DMRs.
-        let dest = self.fleet.migration_destination(idx, &victim, &dmrs, threshold);
+        let dest = policy::migration_destination(
+            &FleetState::new(&self.fleet.nodes, &self.fleet.admission),
+            idx,
+            &victim,
+            &dmrs,
+            threshold,
+        );
         match dest {
             Some(j) => {
                 let name = victim.name.clone();
                 self.fleet.nodes[j].tenants.push(victim);
-                if let Some(router) = self.fleet.router.as_mut() {
-                    router.invalidate_node(idx);
-                    router.invalidate_node(j);
-                }
+                self.fleet.planner.invalidate_node(idx);
+                self.fleet.planner.invalidate_node(j);
                 self.fleet.capacity_released = true;
                 self.builder.migrations += 1;
                 // The explicit cost model: a migration is a state
@@ -488,9 +510,9 @@ impl Engine<'_> {
                 self.drain_and_upgrade(t);
             }
             None => {
-                // Nobody can take it; keep it and wait for fresh
-                // evidence before trying again (epoch-path pacing).
-                self.fleet.nodes[idx].tenants.push(victim);
+                // Nobody can take it; restore its slot and wait for
+                // fresh evidence before trying again (epoch-path pacing).
+                self.fleet.nodes[idx].tenants.insert(slot, victim);
                 self.windows[idx].clear();
             }
         }
@@ -500,10 +522,11 @@ impl Engine<'_> {
         if t > self.end {
             return;
         }
-        for name in self.fleet.expire_queued() {
-            self.builder.expired += 1;
-            self.pre_run_queued.remove(&name);
-        }
+        // Patience expiry plus (when armed) the demand-aware
+        // provably-hopeless sweep — the same shared accounting the epoch
+        // path runs at its boundaries.
+        self.fleet
+            .expire_accounted(&mut self.builder, &mut self.pre_run_queued);
     }
 
     fn on_sample(&mut self, t: SimTime) {

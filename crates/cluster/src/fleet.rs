@@ -1,16 +1,28 @@
 //! The fleet dispatcher: epoch-driven simulation of many GPU nodes under
 //! tenant churn.
 //!
-//! Simulated time is divided into *epochs*. At each epoch boundary the
-//! dispatcher applies churn events (arrivals are placed through the
-//! [`Placer`] + [`AdmissionController`]; departures free capacity, expire
-//! overdue waiters, and drain the wait queue in [`crate::QueuePolicy`]
-//! order), then every non-empty node runs its scheduler for one epoch and
-//! reports [`sgprs_core::RunMetrics`], which the [`FleetMetricsBuilder`]
-//! folds into fleet totals. Optional migration moves a tenant off any
-//! node whose epoch miss rate crossed a threshold.
+//! This file is **orchestration only**. Every decision — admission and
+//! placement planning (flat, shard-scan, or power-of-two-choices), the
+//! re-pricing ladder walk, queue feasibility and demand-aware expiry,
+//! upgrade candidates, and migration victim/destination choice — lives
+//! in the shared [`crate::policy`] kernel, consumed identically by this
+//! epoch path, the event engine ([`crate::event`]), and the sharded
+//! front door ([`crate::ShardedFleet`]). Configuration lives in
+//! [`crate::config`]. What remains here is the epoch loop, the shared
+//! dispatch/queue/upgrade *orchestration* both engines call, and the
+//! shared accounting helpers that fold outcomes into
+//! [`FleetMetricsBuilder`] so the two engines cannot drift.
 //!
-//! With [`QueueConfig::repricing`] on, an arrival that does not fit at
+//! Simulated time is divided into *epochs*. At each epoch boundary the
+//! dispatcher applies churn events (arrivals are planned through the
+//! policy kernel; departures free capacity, expire overdue waiters, and
+//! drain the wait queue in [`crate::QueuePolicy`] order), then every
+//! non-empty node runs its scheduler for one epoch and reports
+//! [`sgprs_core::RunMetrics`], which the [`FleetMetricsBuilder`] folds
+//! into fleet totals. Optional migration moves a tenant off any node
+//! whose epoch miss rate crossed a threshold.
+//!
+//! With [`crate::QueueConfig::repricing`] on, an arrival that does not fit at
 //! its requested rate may be admitted at a degraded
 //! [`TenantSpec::fps_ladder`] step — SGPRS's zero-cost partition switch
 //! makes the later upgrade free — and each epoch boundary steps degraded
@@ -23,14 +35,14 @@
 //! as release phases inside their first epoch); departures and
 //! migrations take effect at the epoch boundary *following* the event,
 //! so a departing tenant serves out its final partial epoch. Jobs still
-//! in flight
-//! when an epoch ends are not counted as completed — with the default
-//! one-second epoch and the paper's 33 ms periods this truncation is
-//! under 3 % and affects every scheduler equally; the count is surfaced
-//! as [`FleetMetrics::truncated_jobs`]. The event-driven mode
-//! ([`Fleet::run_events`], see [`crate::event`]) removes the grid
-//! entirely: exact boundaries, zero truncation, and migration at
-//! job-release boundaries paying [`MigrationConfig::cost`].
+//! in flight when an epoch ends are not counted as completed — with the
+//! default one-second epoch and the paper's 33 ms periods this
+//! truncation is under 3 % and affects every scheduler equally; the
+//! count is surfaced as [`FleetMetrics::truncated_jobs`]. The
+//! event-driven mode ([`Fleet::run_events`], see [`crate::event`])
+//! removes the grid entirely: exact boundaries, zero truncation, and
+//! migration at job-release boundaries paying
+//! [`crate::MigrationConfig::cost`].
 //!
 //! Parallel-execution determinism: within one epoch the nodes are
 //! mutually independent — they share no simulator state, their compiled
@@ -39,196 +51,19 @@
 //! therefore fans the per-node `run_epoch` calls out over scoped worker
 //! threads and folds the results back in ascending node index, so the
 //! resulting [`FleetMetrics`] is bit-identical to sequential execution
-//! ([`FleetConfig::sequential`] is the escape hatch): parallelism
+//! ([`crate::FleetConfig::sequential`] is the escape hatch): parallelism
 //! changes wall-clock time, never results.
 
+use crate::policy::{self, DispatchPlanner, FleetState, PricedPlan, QueueAdmission};
 use crate::queue::DispatchQueue;
-use crate::shard::ShardRouter;
+use crate::shard::ShardDirectory;
 use crate::{
-    AdmissionConfig, AdmissionController, ChurnEvent, ChurnTrace, FleetMetrics,
-    FleetMetricsBuilder, FleetNode, NodeSpec, Placer, PlacementPolicy, QueueConfig, ShardConfig,
-    TenantSpec,
+    AdmissionController, ChurnEvent, ChurnTrace, FleetConfig, FleetMetrics, FleetMetricsBuilder,
+    FleetNode, TenantSpec,
 };
 use sgprs_core::{CompiledTask, RunMetrics};
 use sgprs_rt::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-
-/// Migration knobs.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MigrationConfig {
-    /// Enable migration off overloaded nodes.
-    pub enabled: bool,
-    /// Epoch deadline-miss rate above which a node sheds one tenant.
-    pub dmr_threshold: f64,
-    /// The state-transfer stall a migration pays in event-driven mode
-    /// ([`Fleet::run_events`]): the migrant serves nothing while its
-    /// weights and context state move, roughly a reconfiguration window
-    /// (the default matches `sgprs_core::ReconfigConfig`'s 100 ms
-    /// repartition stall). Re-pricing degrade/upgrade switches are SGPRS
-    /// partition switches and never pay it. The epoch path models
-    /// migration as free (its pre-existing contract) and ignores this
-    /// field.
-    pub cost: SimDuration,
-}
-
-impl Default for MigrationConfig {
-    fn default() -> Self {
-        MigrationConfig {
-            enabled: false,
-            dmr_threshold: 0.2,
-            cost: SimDuration::from_millis(100),
-        }
-    }
-}
-
-/// Configuration of a [`Fleet`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct FleetConfig {
-    /// The nodes, in dispatch order.
-    pub nodes: Vec<NodeSpec>,
-    /// Placement policy.
-    pub placement: PlacementPolicy,
-    /// Admission-control knobs.
-    pub admission: AdmissionConfig,
-    /// Epoch length (the dispatch/re-evaluation granularity).
-    pub epoch: SimDuration,
-    /// Migration knobs.
-    pub migration: MigrationConfig,
-    /// Base seed for the nodes' execution jitter.
-    pub seed: u64,
-    /// Fan per-epoch node execution out over worker threads (results are
-    /// bit-identical either way; see the module docs).
-    pub parallel: bool,
-    /// Worker-thread count for the parallel fan-out; `None` uses every
-    /// available core. Ignored when `parallel` is off. Results are
-    /// bit-identical for every count.
-    pub workers: Option<usize>,
-    /// Optional two-level sharded dispatch (see [`crate::ShardedFleet`]).
-    pub sharding: Option<ShardConfig>,
-    /// Wait-queue policy and re-pricing knobs (see [`crate::QueuePolicy`]).
-    pub queue: QueueConfig,
-    /// Run in event-driven mode ([`Fleet::run_events`]) instead of the
-    /// epoch grid when dispatched through [`Fleet::run_configured`]:
-    /// exact release/departure boundaries, no epoch truncation, migration
-    /// with an explicit stall cost. Off by default — the epoch path stays
-    /// bit-for-bit the classic semantics.
-    pub event_driven: bool,
-}
-
-impl FleetConfig {
-    /// A fleet over `nodes` with least-utilisation placement, default
-    /// admission control, one-second epochs, and no migration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nodes` is empty.
-    #[must_use]
-    pub fn new(nodes: Vec<NodeSpec>) -> Self {
-        assert!(!nodes.is_empty(), "a fleet needs at least one node");
-        FleetConfig {
-            nodes,
-            placement: PlacementPolicy::LeastUtilization,
-            admission: AdmissionConfig::default(),
-            epoch: SimDuration::from_secs(1),
-            migration: MigrationConfig::default(),
-            seed: 0x5672_5053,
-            parallel: true,
-            workers: None,
-            sharding: None,
-            queue: QueueConfig::default(),
-            event_driven: false,
-        }
-    }
-
-    /// Disables the parallel per-epoch fan-out: nodes run one after
-    /// another on the calling thread. The escape hatch for debugging and
-    /// for determinism tests — metrics are bit-identical either way.
-    #[must_use]
-    pub fn sequential(mut self) -> Self {
-        self.parallel = false;
-        self
-    }
-
-    /// Enables two-level sharded dispatch with shards of `shard_size`
-    /// nodes (see [`crate::ShardedFleet`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shard_size` is zero.
-    #[must_use]
-    pub fn with_sharding(mut self, shard_size: usize) -> Self {
-        self.sharding = Some(ShardConfig::new(shard_size));
-        self
-    }
-
-    /// Replaces the placement policy.
-    #[must_use]
-    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
-        self.placement = placement;
-        self
-    }
-
-    /// Enables migration with the given epoch-DMR threshold. The stall
-    /// cost keeps whatever [`FleetConfig::with_migration_cost`] set (or
-    /// the default), regardless of builder-call order.
-    #[must_use]
-    pub fn with_migration(mut self, dmr_threshold: f64) -> Self {
-        self.migration.enabled = true;
-        self.migration.dmr_threshold = dmr_threshold;
-        self
-    }
-
-    /// Replaces the migration state-transfer stall charged in
-    /// event-driven mode (see [`MigrationConfig::cost`]).
-    #[must_use]
-    pub fn with_migration_cost(mut self, cost: SimDuration) -> Self {
-        self.migration.cost = cost;
-        self
-    }
-
-    /// Selects the event-driven execution mode for
-    /// [`Fleet::run_configured`] (see [`Fleet::run_events`]).
-    #[must_use]
-    pub fn with_event_driven(mut self) -> Self {
-        self.event_driven = true;
-        self
-    }
-
-    /// Replaces the jitter seed.
-    #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Forces the parallel fan-out onto exactly `workers` threads
-    /// (metrics are bit-identical for every count; the knob exists for
-    /// determinism tests and for capping thread pressure).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers` is zero.
-    #[must_use]
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        assert!(workers > 0, "the fan-out needs at least one worker");
-        self.workers = Some(workers);
-        self
-    }
-
-    /// Replaces the wait-queue policy (FIFO is the default).
-    #[must_use]
-    pub fn with_queue_policy(mut self, policy: crate::QueuePolicy) -> Self {
-        self.queue.policy = policy;
-        self
-    }
-
-    /// Enables the fps re-pricing ladder (see [`QueueConfig::repricing`]).
-    #[must_use]
-    pub fn with_repricing(mut self) -> Self {
-        self.queue.repricing = true;
-        self
-    }
-}
 
 /// Where a dispatched tenant ended up.
 #[derive(Debug, Clone, PartialEq)]
@@ -238,7 +73,7 @@ pub enum DispatchOutcome {
     /// Did not fit at its requested rate, but the re-pricing ladder found
     /// room at the degraded rate `fps` on node `node` — the tenant is
     /// resident and will be upgraded back toward its requested rate when
-    /// capacity frees (requires [`QueueConfig::repricing`]).
+    /// capacity frees (requires [`crate::QueueConfig::repricing`]).
     PlacedDegraded {
         /// The node the tenant landed on.
         node: usize,
@@ -266,8 +101,10 @@ pub enum DispatchOutcome {
 pub struct Fleet {
     pub(crate) cfg: FleetConfig,
     pub(crate) nodes: Vec<FleetNode>,
-    placer: Placer,
-    admission: AdmissionController,
+    pub(crate) admission: AdmissionController,
+    /// The mutable half of the policy kernel: placement cursor + shard
+    /// directory (see [`crate::policy`]).
+    pub(crate) planner: DispatchPlanner,
     pub(crate) queue: DispatchQueue,
     /// Sub-epoch release phase of tenants that arrived mid-epoch,
     /// consumed by the next `run_epoch`.
@@ -277,8 +114,6 @@ pub struct Fleet {
     /// Names of active tenants (resident or queued), enforcing the
     /// uniqueness contract of [`TenantSpec::name`].
     active: HashSet<String>,
-    /// Two-level dispatch router, present when sharding is configured.
-    pub(crate) router: Option<ShardRouter>,
     /// The dispatcher's clock: advanced by `run`/`run_events`, stamps
     /// queue entries so waits and queue deadlines are measurable.
     pub(crate) now: SimTime,
@@ -292,6 +127,11 @@ pub struct Fleet {
     /// Residents currently serving below their requested rate: tenant
     /// name → requested fps. Ordered so upgrade passes are deterministic.
     degraded: BTreeMap<String, f64>,
+    /// Memoised [`policy::can_ever_fit`] answers per price point
+    /// `(model, stages, fps bits)` — the answer is load-independent, so
+    /// demand-aware expiry sweeps cost one map lookup per queued waiter
+    /// after the first.
+    hopeless_cache: HashMap<(crate::ModelKind, usize, u64), bool>,
 }
 
 impl Fleet {
@@ -305,27 +145,23 @@ impl Fleet {
     pub fn new(cfg: FleetConfig) -> Self {
         assert!(!cfg.nodes.is_empty(), "a fleet needs at least one node");
         let nodes: Vec<FleetNode> = cfg.nodes.iter().cloned().map(FleetNode::new).collect();
-        let placer = Placer::new(cfg.placement);
         let admission = AdmissionController::new(cfg.admission.clone());
-        let router = cfg
-            .sharding
-            .as_ref()
-            .map(|shard| ShardRouter::new(nodes.len(), shard));
+        let planner = DispatchPlanner::new(cfg.placement, nodes.len(), cfg.sharding.as_ref());
         let queue = DispatchQueue::new(cfg.queue.policy);
         Fleet {
             cfg,
             nodes,
-            placer,
             admission,
+            planner,
             queue,
             pending_phase: HashMap::new(),
             compiled: HashMap::new(),
             active: HashSet::new(),
-            router,
             now: SimTime::ZERO,
             capacity_released: true,
             drain_scans: 0,
             degraded: BTreeMap::new(),
+            hopeless_cache: HashMap::new(),
         }
     }
 
@@ -359,42 +195,35 @@ impl Fleet {
         &self.admission
     }
 
-    /// The shard router, when sharding is configured.
-    pub(crate) fn router(&self) -> Option<&ShardRouter> {
-        self.router.as_ref()
+    /// The shard directory, when sharding is configured.
+    pub(crate) fn router(&self) -> Option<&ShardDirectory> {
+        self.planner.router()
     }
 
     /// Chooses a node for `tenant` without committing the placement —
-    /// the per-arrival hot path the placement benches measure. Flat
-    /// fleets scan every node through the placement policy; sharded
-    /// fleets route to a shard first (O(shards + nodes/shard) in the
-    /// common case) and fall back shard by shard when summaries prove
-    /// stale.
+    /// the per-arrival hot path the placement benches measure, delegated
+    /// to the policy kernel's [`DispatchPlanner::plan`].
     #[must_use]
     pub fn plan(&mut self, tenant: &TenantSpec) -> Option<usize> {
-        match self.router.as_mut() {
-            Some(router) => {
-                for shard in router.route(&self.nodes, &self.admission, tenant) {
-                    let range = router.range(shard);
-                    if let Some(rel) =
-                        self.placer
-                            .place(&self.nodes[range.clone()], tenant, &self.admission)
-                    {
-                        return Some(range.start + rel);
-                    }
-                }
-                None
-            }
-            None => self.placer.place(&self.nodes, tenant, &self.admission),
-        }
+        self.planner
+            .plan(&FleetState::new(&self.nodes, &self.admission), tenant)
+    }
+
+    /// Plans `tenant` down its re-pricing ladder (kernel
+    /// [`DispatchPlanner::plan_repriced`], honouring
+    /// [`crate::QueueConfig::repricing`]).
+    fn plan_repriced(&mut self, tenant: &TenantSpec) -> Option<PricedPlan> {
+        self.planner.plan_repriced(
+            &FleetState::new(&self.nodes, &self.admission),
+            tenant,
+            self.cfg.queue.repricing,
+        )
     }
 
     /// Makes `tenant` resident on node `idx`, keeping the active-name
     /// set and the shard summaries in sync.
     fn commit(&mut self, idx: usize, tenant: TenantSpec) {
-        if let Some(router) = self.router.as_mut() {
-            router.note_place(idx, tenant.demand_sm_equivalents());
-        }
+        self.planner.note_place(idx, tenant.demand_sm_equivalents());
         self.active.insert(tenant.name.clone());
         self.nodes[idx].tenants.push(tenant);
     }
@@ -422,7 +251,12 @@ impl Fleet {
             }
             None => {}
         }
-        if self.queue_feasible(&tenant) {
+        let feasible = policy::queue_feasible(
+            &FleetState::new(&self.nodes, &self.admission),
+            &tenant,
+            self.cfg.queue.repricing,
+        );
+        if feasible {
             self.active.insert(tenant.name.clone());
             self.queue.push(tenant, self.now);
             DispatchOutcome::Queued
@@ -431,42 +265,28 @@ impl Fleet {
         }
     }
 
-    /// Plans `tenant` at its requested rate, then — with re-pricing on —
-    /// down its degrade ladder, best step first. The single definition of
-    /// the ladder walk, shared by arrival dispatch and the queue drain.
-    fn plan_repriced(&mut self, tenant: &TenantSpec) -> Option<PricedPlan> {
-        if let Some(idx) = self.plan(tenant) {
-            return Some(PricedPlan::Full(idx));
-        }
-        if self.cfg.queue.repricing {
-            let steps: Vec<f64> = tenant.degrade_steps().collect();
-            for fps in steps {
-                if let Some(idx) = self.plan(&tenant.at_fps(fps)) {
-                    return Some(PricedPlan::Degraded(idx, fps));
-                }
+    /// [`Self::dispatch`] plus the shared arrival accounting: one
+    /// definition of how each [`DispatchOutcome`] maps onto the metrics
+    /// counters, used by both execution engines so the books cannot
+    /// drift.
+    pub(crate) fn dispatch_accounted(
+        &mut self,
+        tenant: TenantSpec,
+        builder: &mut FleetMetricsBuilder,
+    ) -> DispatchOutcome {
+        builder.arrivals += 1;
+        let outcome = self.dispatch(tenant);
+        match &outcome {
+            DispatchOutcome::Placed(_) => builder.admitted += 1,
+            DispatchOutcome::PlacedDegraded { .. } => {
+                builder.admitted += 1;
+                builder.degraded += 1;
             }
+            DispatchOutcome::Queued => builder.deferred += 1,
+            DispatchOutcome::Infeasible => builder.infeasible += 1,
+            DispatchOutcome::Duplicate => builder.duplicates += 1,
         }
-        None
-    }
-
-    /// Whether some node could ever carry `tenant` once load drains —
-    /// at its requested rate or, under re-pricing, at any ladder step.
-    /// Best-case latency is load-independent, so a tenant failing the
-    /// gate everywhere at every price can never fit and queueing it
-    /// would only block the queue.
-    fn queue_feasible(&self, tenant: &TenantSpec) -> bool {
-        let fits = |t: &TenantSpec| {
-            self.nodes
-                .iter()
-                .any(|node| self.admission.best_case_latency(node, t) <= t.period())
-        };
-        if fits(tenant) {
-            return true;
-        }
-        self.cfg.queue.repricing
-            && tenant
-                .degrade_steps()
-                .any(|fps| fits(&tenant.at_fps(fps)))
+        outcome
     }
 
     /// Removes the named tenant wherever it lives (node or queue).
@@ -481,9 +301,7 @@ impl Fleet {
             // A departure frees node capacity: the next drain pass must
             // actually scan the queue again.
             self.capacity_released = true;
-            if let Some(router) = self.router.as_mut() {
-                router.invalidate_node(idx);
-            }
+            self.planner.invalidate_node(idx);
             return true;
         }
         if self.queue.remove(name) {
@@ -491,6 +309,26 @@ impl Fleet {
             return true;
         }
         false
+    }
+
+    /// [`Self::remove`] plus the shared departure accounting: a removed
+    /// tenant counts as a departure, and a departing pre-run waiter must
+    /// not leave its name behind (a later same-named deferred arrival
+    /// would match the stale entry and be miscounted as rejected). One
+    /// definition for both execution engines.
+    pub(crate) fn remove_accounted(
+        &mut self,
+        name: &str,
+        builder: &mut FleetMetricsBuilder,
+        pre_run_queued: &mut HashSet<String>,
+    ) -> bool {
+        if self.remove(name) {
+            builder.departures += 1;
+            pre_run_queued.remove(name);
+            true
+        } else {
+            false
+        }
     }
 
     /// Retries queued tenants in policy order; returns how many were
@@ -505,7 +343,7 @@ impl Fleet {
     }
 
     /// [`Self::drain_queue`], reporting each admission's name, price, and
-    /// wait so `run` can attribute it to the right deferral.
+    /// wait so the engines can attribute it to the right deferral.
     pub(crate) fn drain_queue_admissions(&mut self) -> Vec<QueueAdmission> {
         let mut admitted = Vec::new();
         if !self.capacity_released {
@@ -587,10 +425,91 @@ impl Fleet {
             .collect()
     }
 
+    /// Memoised [`policy::can_ever_fit`] per price point: the answer is
+    /// load-independent (it tests against *emptied* nodes) and ignores
+    /// the tenant's name/weight/patience, so one evaluation per
+    /// `(model, stages, fps)` serves the whole run and a cache miss only
+    /// builds a throwaway probe spec.
+    fn price_can_ever_fit(&mut self, model: crate::ModelKind, stages: usize, fps: f64) -> bool {
+        let key = (model, stages, fps.to_bits());
+        if let Some(&known) = self.hopeless_cache.get(&key) {
+            return known;
+        }
+        let probe = TenantSpec::new("hopeless-probe", model, fps).with_stages(stages);
+        let fits =
+            policy::can_ever_fit(&FleetState::new(&self.nodes, &self.admission), &probe);
+        self.hopeless_cache.insert(key, fits);
+        fits
+    }
+
+    /// Demand-aware expiry sweep ([`crate::QueueConfig::demand_aware_expiry`]):
+    /// drops queued tenants that provably can never be admitted — no
+    /// node could carry them even fully drained, at any ladder step —
+    /// and returns their names. Waiting longer can never help such a
+    /// waiter, so expiring it before its patience elapses loses nothing.
+    /// Only the price points matter, so the sweep collects cheap
+    /// `(name, price…)` keys instead of cloning whole specs.
+    pub(crate) fn expire_hopeless(&mut self) -> Vec<String> {
+        if self.queue.len() == 0 {
+            return Vec::new();
+        }
+        let repricing = self.cfg.queue.repricing;
+        let waiters: Vec<(String, crate::ModelKind, usize, Vec<f64>)> = self
+            .queue
+            .iter()
+            .map(|t| {
+                let mut prices = vec![t.fps];
+                if repricing {
+                    prices.extend(t.degrade_steps());
+                }
+                (t.name.clone(), t.model, t.stages, prices)
+            })
+            .collect();
+        let mut doomed = Vec::new();
+        for (name, model, stages, prices) in waiters {
+            let fits = prices
+                .iter()
+                .any(|&fps| self.price_can_ever_fit(model, stages, fps));
+            if !fits {
+                doomed.push(name);
+            }
+        }
+        for name in &doomed {
+            self.queue.remove(name);
+            self.active.remove(name);
+        }
+        doomed
+    }
+
+    /// The shared expiry accounting both engines run at their expiry
+    /// instants: patience expiry first (counted as
+    /// [`FleetMetrics::expired`]), then — with
+    /// [`crate::QueueConfig::demand_aware_expiry`] on — the provably-hopeless
+    /// sweep (counted separately as
+    /// [`FleetMetrics::expired_hopeless`]). Expired in-run deferrals
+    /// fall through to the eventual-rejection accounting either way.
+    pub(crate) fn expire_accounted(
+        &mut self,
+        builder: &mut FleetMetricsBuilder,
+        pre_run_queued: &mut HashSet<String>,
+    ) {
+        for name in self.expire_queued() {
+            builder.expired += 1;
+            pre_run_queued.remove(&name);
+        }
+        if self.cfg.queue.demand_aware_expiry {
+            for name in self.expire_hopeless() {
+                builder.expired_hopeless += 1;
+                pre_run_queued.remove(&name);
+            }
+        }
+    }
+
     /// Tries to move every degraded resident back up its ladder — to the
     /// requested rate if the node now carries it, else to the highest
-    /// ladder step that fits. Upgrades are in-place partition switches on
-    /// the resident node (SGPRS's zero-cost reconfiguration), never
+    /// ladder step that fits ([`policy::upgrade_candidates`] orders the
+    /// attempts). Upgrades are in-place partition switches on the
+    /// resident node (SGPRS's zero-cost reconfiguration), never
     /// migrations, and run in tenant-name order for determinism. Returns
     /// the number of upgrade steps taken.
     pub(crate) fn upgrade_degraded(&mut self) -> u64 {
@@ -610,17 +529,7 @@ impl Fleet {
                 continue;
             };
             let resident = self.nodes[idx].tenants.remove(pos);
-            // Candidate prices above the current rate, best first.
-            let candidates: Vec<f64> = std::iter::once(requested)
-                .chain(
-                    resident
-                        .fps_ladder
-                        .iter()
-                        .copied()
-                        .filter(|&s| s < requested),
-                )
-                .filter(|&s| s > resident.fps)
-                .collect();
+            let candidates = policy::upgrade_candidates(&resident, requested);
             let mut upgraded = None;
             for fps in candidates {
                 let priced = resident.at_fps(fps);
@@ -638,9 +547,7 @@ impl Fleet {
                     // victim choice) is unaffected by the price change.
                     self.nodes[idx].tenants.insert(pos, priced);
                     upgrades += 1;
-                    if let Some(router) = self.router.as_mut() {
-                        router.invalidate_node(idx);
-                    }
+                    self.planner.invalidate_node(idx);
                 }
                 None => self.nodes[idx].tenants.insert(pos, resident),
             }
@@ -723,22 +630,12 @@ impl Fleet {
             // 1a. Apply departures from the previous epoch.
             self.now = epoch_start;
             for name in deferred_departures.drain(..) {
-                if self.remove(&name) {
-                    builder.departures += 1;
-                    // A departing pre-run waiter must not leave its name
-                    // behind: a later same-named deferred arrival would
-                    // match the stale entry and be miscounted as
-                    // rejected.
-                    pre_run_queued.remove(&name);
-                }
+                let _ = self.remove_accounted(&name, &mut builder, &mut pre_run_queued);
             }
             // Waiters whose queue deadline elapsed give up first; an
             // expired in-run deferral was never served, so the eventual-
             // rejection accounting below picks it up.
-            for name in self.expire_queued() {
-                builder.expired += 1;
-                pre_run_queued.remove(&name);
-            }
+            self.expire_accounted(&mut builder, &mut pre_run_queued);
             // The departures may have freed room for queued tenants;
             // the shared helper folds admissions and upgrades in.
             let _ = self.drain_and_upgrade_accounted(&mut builder, &mut pre_run_queued);
@@ -750,22 +647,14 @@ impl Fleet {
                 let (at, event) = events.pop_front().expect("front exists");
                 match event {
                     ChurnEvent::Arrival(tenant) => {
-                        builder.arrivals += 1;
                         let phase = at.duration_since(epoch_start);
                         self.now = at;
-                        match self.dispatch(tenant.clone()) {
-                            DispatchOutcome::Placed(_) => {
-                                builder.admitted += 1;
+                        match self.dispatch_accounted(tenant.clone(), &mut builder) {
+                            DispatchOutcome::Placed(_)
+                            | DispatchOutcome::PlacedDegraded { .. } => {
                                 self.pending_phase.insert(tenant.name, phase);
                             }
-                            DispatchOutcome::PlacedDegraded { .. } => {
-                                builder.admitted += 1;
-                                builder.degraded += 1;
-                                self.pending_phase.insert(tenant.name, phase);
-                            }
-                            DispatchOutcome::Queued => builder.deferred += 1,
-                            DispatchOutcome::Infeasible => builder.infeasible += 1,
-                            DispatchOutcome::Duplicate => builder.duplicates += 1,
+                            _ => {}
                         }
                     }
                     ChurnEvent::Departure(name) => deferred_departures.push(name),
@@ -830,9 +719,7 @@ impl Fleet {
         }
         // Departures whose boundary is the end of the run still count.
         for name in deferred_departures.drain(..) {
-            if self.remove(&name) {
-                builder.departures += 1;
-            }
+            let _ = self.remove_accounted(&name, &mut builder, &mut pre_run_queued);
         }
         // Rejections are *eventual* outcomes: a deferred arrival that was
         // never admitted later — still queued at the end, or departed
@@ -854,13 +741,14 @@ impl Fleet {
     /// truncated ([`FleetMetrics::truncated_jobs`] is asserted zero),
     /// departures apply at their exact instant, and DMR-triggered
     /// migration fires at job-release boundaries, paying the
-    /// [`MigrationConfig::cost`] state-transfer stall — while re-pricing
-    /// degrade/upgrade switches stay free partition switches. The run is
-    /// single-threaded and deterministic: [`FleetConfig::workers`] /
-    /// [`FleetConfig::parallel`] have no effect, so the metrics are
-    /// byte-identical across those knobs; sharding steers placement
-    /// exactly as on the epoch path (deterministic per configuration,
-    /// identical to flat only for a whole-fleet shard).
+    /// [`crate::MigrationConfig::cost`] state-transfer stall — while
+    /// re-pricing degrade/upgrade switches stay free partition switches.
+    /// The run is single-threaded and deterministic:
+    /// [`FleetConfig::workers`] / [`FleetConfig::parallel`] have no
+    /// effect, so the metrics are byte-identical across those knobs;
+    /// sharding steers placement exactly as on the epoch path
+    /// (deterministic per configuration, identical to flat only for a
+    /// whole-fleet shard).
     ///
     /// # Panics
     ///
@@ -885,39 +773,10 @@ impl Fleet {
         }
     }
 
-    /// Chooses the destination for migrating `victim` off `src`: among
-    /// the *other* nodes, those whose miss estimate is at or under
-    /// `threshold` (admission alone would happily bounce a tenant
-    /// between two hot nodes forever) and that admit the victim, the
-    /// least loaded by demand/budget. One policy shared by the epoch
-    /// path's per-boundary sweep and the event engine's release-boundary
-    /// migration, so the two modes cannot silently fork.
-    pub(crate) fn migration_destination(
-        &self,
-        src: usize,
-        victim: &TenantSpec,
-        node_dmr: &[f64],
-        threshold: f64,
-    ) -> Option<usize> {
-        (0..self.nodes.len())
-            .filter(|&j| j != src)
-            .filter(|&j| node_dmr[j] <= threshold)
-            .filter(|&j| self.admission.evaluate(&self.nodes[j], victim).is_admit())
-            .min_by(|&a, &b| {
-                let load = |j: usize| {
-                    let budget = self.admission.budget(&self.nodes[j], None);
-                    if budget > 0.0 {
-                        self.nodes[j].total_demand() / budget
-                    } else {
-                        f64::INFINITY
-                    }
-                };
-                load(a).total_cmp(&load(b))
-            })
-    }
-
-    /// Moves the most recently placed tenant off every node whose epoch
-    /// miss rate crossed the threshold, if another node admits it.
+    /// Moves one tenant (chosen by the configured
+    /// [`crate::MigrationVictimPolicy`]) off every node whose epoch miss
+    /// rate crossed the threshold, if another node admits it — victim
+    /// and destination choice both delegated to the policy kernel.
     fn migrate_overloaded(&mut self, epoch_dmr: &[f64]) -> u64 {
         let mut migrations = 0;
         // Indexing because the body mutates several nodes at once.
@@ -928,56 +787,37 @@ impl Fleet {
             {
                 continue;
             }
-            let Some(tenant) = self.nodes[idx].tenants.pop() else {
+            let Some(slot) = policy::select_migration_victim(
+                &self.nodes[idx],
+                &self.admission,
+                self.cfg.migration.victim,
+            ) else {
                 continue;
             };
-            let moved = {
-                let candidate_idx = self.migration_destination(
-                    idx,
-                    &tenant,
-                    epoch_dmr,
-                    self.cfg.migration.dmr_threshold,
-                );
-                match candidate_idx {
-                    Some(j) => {
-                        self.nodes[j].tenants.push(tenant.clone());
-                        if let Some(router) = self.router.as_mut() {
-                            router.invalidate_node(idx);
-                            router.invalidate_node(j);
-                        }
-                        // The source node freed capacity: a waiter that
-                        // routed anywhere may now fit there.
-                        self.capacity_released = true;
-                        true
-                    }
-                    None => false,
+            let tenant = self.nodes[idx].tenants.remove(slot);
+            let dest = policy::migration_destination(
+                &FleetState::new(&self.nodes, &self.admission),
+                idx,
+                &tenant,
+                epoch_dmr,
+                self.cfg.migration.dmr_threshold,
+            );
+            match dest {
+                Some(j) => {
+                    self.nodes[j].tenants.push(tenant);
+                    self.planner.invalidate_node(idx);
+                    self.planner.invalidate_node(j);
+                    // The source node freed capacity: a waiter that
+                    // routed anywhere may now fit there.
+                    self.capacity_released = true;
+                    migrations += 1;
                 }
-            };
-            if moved {
-                migrations += 1;
-            } else {
-                // Nobody can take it; keep it where it was.
-                self.nodes[idx].tenants.push(tenant);
+                // Nobody can take it; restore it to its original slot.
+                None => self.nodes[idx].tenants.insert(slot, tenant),
             }
         }
         migrations
     }
-}
-
-/// Where the re-pricing ladder found room for a tenant.
-enum PricedPlan {
-    /// Fits at its requested rate on this node.
-    Full(usize),
-    /// Fits only at the given degraded ladder step on this node.
-    Degraded(usize, f64),
-}
-
-/// One admission out of the wait queue: who got in, at what price, and
-/// after how long a wait.
-pub(crate) struct QueueAdmission {
-    pub(crate) name: String,
-    pub(crate) degraded: bool,
-    pub(crate) waited: SimDuration,
 }
 
 /// One node's prepared work for an epoch: the compiled tasks (with their
@@ -1054,875 +894,4 @@ fn run_node_epochs(
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::{ChurnConfig, ModelKind, NodeScheduler};
-    use sgprs_gpu_sim::GpuSpec;
-
-    fn three_node_fleet() -> FleetConfig {
-        FleetConfig::new(vec![
-            NodeSpec::sgprs("gpu0", GpuSpec::rtx_2080_ti()),
-            NodeSpec::sgprs("gpu1", GpuSpec::rtx_2080_ti()),
-            NodeSpec::sgprs("gpu2", GpuSpec::rtx_2080_ti()),
-        ])
-    }
-
-    fn tenant(i: usize) -> TenantSpec {
-        TenantSpec::new(format!("cam-{i}"), ModelKind::ResNet18, 30.0)
-    }
-
-    #[test]
-    fn dispatch_places_until_saturation_then_queues() {
-        let mut fleet = Fleet::new(three_node_fleet());
-        let mut placed = 0;
-        let mut queued = 0;
-        for i in 0..100 {
-            match fleet.dispatch(tenant(i)) {
-                DispatchOutcome::Placed(_) => placed += 1,
-                DispatchOutcome::Queued => queued += 1,
-                other => panic!("resnet18@30fps with a fresh name always dispatches: {other:?}"),
-            }
-        }
-        assert!(placed >= 45, "3 GPUs take ≥ 15 tenants each, got {placed}");
-        assert!(queued > 0, "admission control must eventually say no");
-        assert_eq!(fleet.queued(), queued);
-    }
-
-    #[test]
-    fn infeasible_tenants_are_dropped_not_queued() {
-        let mut fleet = Fleet::new(three_node_fleet());
-        // VGG-16 at 30 fps cannot meet its period on any node: dropping
-        // it keeps the wait queue's head from blocking forever.
-        let hopeless = TenantSpec::new("vgg", ModelKind::Vgg16, 30.0);
-        assert_eq!(fleet.dispatch(hopeless), DispatchOutcome::Infeasible);
-        assert_eq!(fleet.queued(), 0);
-        // And a run over a trace containing one reports it as such.
-        let mut trace = ChurnTrace::new();
-        trace.push(
-            sgprs_rt::SimTime::ZERO,
-            crate::ChurnEvent::Arrival(TenantSpec::new("vgg", ModelKind::Vgg16, 30.0)),
-        );
-        trace.push(
-            sgprs_rt::SimTime::ZERO,
-            crate::ChurnEvent::Arrival(tenant(0)),
-        );
-        let m = fleet.run(trace, SimDuration::from_secs(1));
-        assert_eq!(m.infeasible, 1);
-        assert_eq!(m.admitted, 1);
-        assert_eq!(m.still_queued, 0);
-        assert!((m.rejection_rate - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn departures_take_effect_at_the_following_boundary() {
-        let mut fleet = Fleet::new(three_node_fleet());
-        let mut trace = ChurnTrace::new();
-        let t = tenant(0);
-        let name = t.name.clone();
-        trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(t));
-        // Departs mid-second-epoch: it must still serve epoch 2 fully.
-        trace.push(
-            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(1_500),
-            crate::ChurnEvent::Departure(name),
-        );
-        let m = fleet.run(trace, SimDuration::from_secs(3));
-        assert_eq!(m.departures, 1);
-        assert!(fleet.nodes().iter().all(|n| n.tenants.is_empty()));
-        // Two full epochs of 30 fps service (minus boundary truncation),
-        // not one: retroactive removal would roughly halve this.
-        assert!(
-            m.nodes[0].completed + m.nodes[1].completed + m.nodes[2].completed >= 50,
-            "{m:?}"
-        );
-    }
-
-    #[test]
-    fn departures_let_queued_tenants_in() {
-        let mut fleet = Fleet::new(three_node_fleet());
-        let mut names = Vec::new();
-        // Saturate, then one more that must queue.
-        let mut i = 0;
-        loop {
-            let t = tenant(i);
-            let name = t.name.clone();
-            match fleet.dispatch(t) {
-                DispatchOutcome::Placed(_) => names.push(name),
-                DispatchOutcome::Queued => break,
-                other => panic!("resnet18@30fps with a fresh name always dispatches: {other:?}"),
-            }
-            i += 1;
-        }
-        assert_eq!(fleet.queued(), 1);
-        assert!(fleet.remove(&names[0]), "departure frees capacity");
-        assert_eq!(fleet.drain_queue(), 1, "queued tenant admitted");
-        assert_eq!(fleet.queued(), 0);
-    }
-
-    #[test]
-    fn static_population_run_produces_fleet_throughput() {
-        let mut fleet = Fleet::new(three_node_fleet());
-        let trace = ChurnTrace::static_population((0..6).map(tenant));
-        let m = fleet.run(trace, SimDuration::from_secs(2));
-        assert!(m.total_fps > 150.0, "6 × 30 fps minus truncation: {m:?}");
-        assert_eq!(m.arrivals, 6);
-        assert_eq!(m.admitted, 6);
-        assert_eq!(m.rejection_rate, 0.0);
-        let node_sum: f64 = m.nodes.iter().map(|n| n.fps).sum();
-        assert!((node_sum - m.total_fps).abs() < 1e-6);
-    }
-
-    #[test]
-    fn churn_run_reports_rejections_under_pressure() {
-        // One small GPU, heavy arrivals: rejections are inevitable.
-        let cfg = FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))]);
-        let mut fleet = Fleet::new(cfg);
-        let churn = ChurnConfig {
-            mean_interarrival: SimDuration::from_millis(100),
-            min_lifetime: SimDuration::from_secs(2),
-            max_lifetime: SimDuration::from_secs(4),
-            ..ChurnConfig::default()
-        };
-        let horizon = SimDuration::from_secs(4);
-        let trace = ChurnTrace::generate(&churn, horizon, 11);
-        let m = fleet.run(trace, horizon);
-        assert!(m.arrivals > 10);
-        assert!(m.rejected > 0, "{m:?}");
-        assert!(m.rejection_rate > 0.0 && m.rejection_rate <= 1.0);
-        assert!(m.total_fps > 0.0);
-    }
-
-    #[test]
-    fn runs_are_deterministic_per_seed() {
-        let run_once = || {
-            let mut fleet = Fleet::new(three_node_fleet().with_seed(99));
-            let churn = ChurnConfig::default();
-            let horizon = SimDuration::from_secs(3);
-            let trace = ChurnTrace::generate(&churn, horizon, 5);
-            fleet.run(trace, horizon)
-        };
-        assert_eq!(run_once(), run_once());
-    }
-
-    #[test]
-    fn queued_then_admitted_tenants_are_not_rejections() {
-        // Regression: `rejection_rate` used to count a queued-then-
-        // admitted tenant as rejected forever. Saturate one small node,
-        // queue one extra arrival, then free room with a departure: the
-        // waiter is admitted and must not appear as a rejection.
-        let cfg = || FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))]);
-        let mut scratch = Fleet::new(cfg());
-        let mut fit = 0;
-        while matches!(scratch.dispatch(tenant(fit)), DispatchOutcome::Placed(_)) {
-            fit += 1;
-        }
-        assert!(fit >= 2, "a 23-SM node takes a few tenants");
-        let mut trace = ChurnTrace::new();
-        for i in 0..=fit {
-            trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(i)));
-        }
-        trace.push(
-            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(500),
-            crate::ChurnEvent::Departure(tenant(0).name),
-        );
-        let mut fleet = Fleet::new(cfg());
-        let m = fleet.run(trace, SimDuration::from_secs(3));
-        assert_eq!(m.arrivals as usize, fit + 1);
-        assert_eq!(m.deferred, 1, "one arrival had to wait");
-        assert_eq!(m.admitted_after_wait, 1, "and got in after the departure");
-        assert_eq!(m.rejected, 0, "eventual admission is not a rejection: {m:?}");
-        assert_eq!(m.rejection_rate, 0.0);
-        assert_eq!(m.still_queued, 0);
-    }
-
-    #[test]
-    fn pre_run_queue_admissions_do_not_mask_in_run_rejections() {
-        // Regression: a tenant queued via `dispatch` *before* `run` and
-        // admitted mid-run used to cancel out one genuinely-rejected
-        // in-run deferral in the eventual accounting.
-        let mut fleet = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
-            "small",
-            GpuSpec::synthetic(23),
-        )]));
-        let mut i = 0;
-        let resident = loop {
-            match fleet.dispatch(tenant(i)) {
-                DispatchOutcome::Placed(_) => i += 1,
-                DispatchOutcome::Queued => break i,
-                other => panic!("unexpected {other:?}"),
-            }
-        };
-        assert_eq!(fleet.queued(), 1, "tenant {resident} waits pre-run");
-        let mut trace = ChurnTrace::new();
-        // An in-run arrival that must also wait, behind the pre-run one…
-        trace.push(
-            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(200),
-            crate::ChurnEvent::Arrival(tenant(resident + 1)),
-        );
-        // …and one departure, freeing room for exactly one of them.
-        trace.push(
-            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(500),
-            crate::ChurnEvent::Departure(tenant(0).name),
-        );
-        let m = fleet.run(trace, SimDuration::from_secs(3));
-        assert_eq!(m.deferred, 1, "the in-run arrival waited");
-        assert_eq!(
-            m.admitted_after_wait, 0,
-            "the freed slot went to the pre-run tenant, which is not this run's deferral"
-        );
-        assert_eq!(m.rejected, 1, "the in-run arrival was never served: {m:?}");
-        assert_eq!(m.still_queued, 1);
-    }
-
-    #[test]
-    fn still_waiting_arrivals_do_count_as_rejections() {
-        // The flip side: with no departures the deferred tenant never
-        // gets in, and the eventual accounting reports it rejected.
-        let cfg = FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))]);
-        let mut scratch = Fleet::new(cfg.clone());
-        let mut fit = 0;
-        while matches!(scratch.dispatch(tenant(fit)), DispatchOutcome::Placed(_)) {
-            fit += 1;
-        }
-        let trace = ChurnTrace::static_population((0..=fit).map(tenant));
-        let m = Fleet::new(cfg).run(trace, SimDuration::from_secs(2));
-        assert_eq!(m.deferred, 1);
-        assert_eq!(m.admitted_after_wait, 0);
-        assert_eq!(m.rejected, 1);
-        assert_eq!(m.still_queued, 1);
-        assert!((m.rejection_rate - 1.0 / (fit as f64 + 1.0)).abs() < 1e-9);
-    }
-
-    #[test]
-    fn duplicate_active_names_are_rejected() {
-        let mut fleet = Fleet::new(three_node_fleet());
-        assert!(matches!(fleet.dispatch(tenant(0)), DispatchOutcome::Placed(_)));
-        assert_eq!(fleet.dispatch(tenant(0)), DispatchOutcome::Duplicate);
-        let resident: usize = fleet.nodes().iter().map(|n| n.tenants.len()).sum();
-        assert_eq!(resident, 1, "no ghost twin was placed");
-        // Departure frees the name for reuse.
-        assert!(fleet.remove(&tenant(0).name));
-        assert!(matches!(fleet.dispatch(tenant(0)), DispatchOutcome::Placed(_)));
-        // Queued names are active too: a duplicate of a waiting tenant
-        // would equally confuse removal.
-        let mut small = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
-            "small",
-            GpuSpec::synthetic(23),
-        )]));
-        let mut i = 0;
-        while matches!(small.dispatch(tenant(i)), DispatchOutcome::Placed(_)) {
-            i += 1;
-        }
-        assert_eq!(small.queued(), 1, "tenant {i} waits");
-        assert_eq!(small.dispatch(tenant(i)), DispatchOutcome::Duplicate);
-    }
-
-    #[test]
-    fn duplicate_arrivals_in_a_trace_are_counted_not_served() {
-        let mut fleet = Fleet::new(three_node_fleet());
-        let mut trace = ChurnTrace::new();
-        trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(1)));
-        trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(1)));
-        let m = fleet.run(trace, SimDuration::from_secs(1));
-        assert_eq!(m.arrivals, 2);
-        assert_eq!(m.admitted, 1);
-        assert_eq!(m.duplicates, 1);
-        assert_eq!(m.rejection_rate, 0.0, "duplicates are not capacity rejections");
-        let resident: usize = fleet.nodes().iter().map(|n| n.tenants.len()).sum();
-        assert_eq!(resident, 1);
-    }
-
-    #[test]
-    fn parallel_and_sequential_epochs_are_bit_identical() {
-        // Heterogeneous devices *and* schedulers under churn plus
-        // migration — the worst case for accidental order dependence.
-        let nodes = || {
-            vec![
-                NodeSpec::sgprs("a", GpuSpec::rtx_2080_ti()),
-                NodeSpec::sgprs("b", GpuSpec::synthetic(34)).with_scheduler(NodeScheduler::Naive),
-                NodeSpec::sgprs("c", GpuSpec::synthetic(23)),
-            ]
-        };
-        let run_with = |cfg: FleetConfig| {
-            let churn = ChurnConfig {
-                mean_interarrival: SimDuration::from_millis(120),
-                ..ChurnConfig::default()
-            };
-            let horizon = SimDuration::from_secs(4);
-            let trace = ChurnTrace::generate(&churn, horizon, 17);
-            Fleet::new(cfg).run(trace, horizon)
-        };
-        let par = run_with(FleetConfig::new(nodes()).with_migration(0.1));
-        let seq = run_with(FleetConfig::new(nodes()).with_migration(0.1).sequential());
-        assert_eq!(par, seq, "parallelism must never change results");
-        assert_eq!(par.to_json(), seq.to_json());
-    }
-
-    #[test]
-    fn migration_moves_load_off_an_overloaded_node() {
-        // Two nodes, round-robin placement is blind to the size gap, so
-        // the small node overloads and migration must bail it out.
-        let cfg = FleetConfig::new(vec![
-            NodeSpec::sgprs("small", GpuSpec::synthetic(16)),
-            NodeSpec::sgprs("big", GpuSpec::rtx_2080_ti()),
-        ])
-        .with_placement(PlacementPolicy::RoundRobin)
-        .with_migration(0.05);
-        // Force-load the small node beyond its means.
-        let mut fleet = Fleet::new(cfg);
-        for i in 0..6 {
-            fleet.nodes[0].tenants.push(tenant(i));
-        }
-        let m = fleet.run(ChurnTrace::new(), SimDuration::from_secs(3));
-        assert!(m.migrations > 0, "{m:?}");
-        assert!(
-            fleet.nodes()[0].tenants.len() < 6,
-            "the small node shed load"
-        );
-        assert!(
-            !fleet.nodes()[1].tenants.is_empty(),
-            "the big node absorbed it"
-        );
-    }
-
-    #[test]
-    fn forced_multi_worker_fanout_matches_inline_execution() {
-        // `available_parallelism()` is 1 in small CI containers, which
-        // would leave the scoped-thread path untested: drive
-        // `run_node_epochs` with an explicit worker count instead.
-        let nodes: Vec<FleetNode> = three_node_fleet()
-            .nodes
-            .into_iter()
-            .map(FleetNode::new)
-            .collect();
-        let jobs = || -> Vec<NodeEpochJob> {
-            (0..nodes.len())
-                .map(|idx| NodeEpochJob {
-                    idx,
-                    tasks: (0..3)
-                        .map(|j| tenant(idx * 3 + j).compile_for(&nodes[idx].spec.pool()))
-                        .collect(),
-                    seed: 42 + idx as u64,
-                })
-                .collect()
-        };
-        let epoch = SimDuration::from_secs(1);
-        let inline = run_node_epochs(&nodes, jobs(), epoch, 1);
-        let fanned = run_node_epochs(&nodes, jobs(), epoch, 4);
-        assert_eq!(inline.len(), nodes.len());
-        assert!(inline.iter().all(|(_, m)| m.released > 0));
-        assert_eq!(inline, fanned, "thread count must never change results");
-    }
-
-    #[test]
-    fn migration_never_targets_a_node_over_the_dmr_threshold() {
-        // Regression: the destination filter used to check admission
-        // only. A naive-scheduler node sized well under its *fluid*
-        // budget still misses deadlines (the budget is calibrated for
-        // SGPRS), so admission would happily accept a migrant onto a
-        // node that is itself hot — and two such nodes ping-pong the
-        // same tenant forever. Destinations past the DMR threshold are
-        // now excluded.
-        let cfg = FleetConfig::new(vec![
-            NodeSpec::sgprs("src", GpuSpec::synthetic(16)),
-            NodeSpec::sgprs("hot-dest", GpuSpec::rtx_2080_ti())
-                .with_scheduler(NodeScheduler::Naive),
-        ])
-        .with_migration(0.05);
-        let mut fleet = Fleet::new(cfg);
-        // Overload the small source node outright.
-        for i in 0..6 {
-            fleet.nodes[0].tenants.push(tenant(i));
-        }
-        // Load the naive node under its admission budget but past what
-        // it can actually serve.
-        for i in 6..24 {
-            fleet.nodes[1].tenants.push(tenant(i));
-        }
-        let migrant = fleet.nodes[0].tenants.last().cloned().expect("loaded");
-        assert!(
-            fleet
-                .admission()
-                .evaluate(&fleet.nodes()[1], &migrant)
-                .is_admit(),
-            "the destination must look admissible (that is the trap)"
-        );
-        let m = fleet.run(ChurnTrace::new(), SimDuration::from_secs(3));
-        assert!(
-            m.nodes[1].dmr > 0.05,
-            "the naive node must actually be hot: {m:?}"
-        );
-        assert_eq!(
-            m.migrations, 0,
-            "no tenant may migrate onto a node over the DMR threshold: {m:?}"
-        );
-        assert_eq!(fleet.nodes()[0].tenants.len(), 6, "source population intact");
-        assert_eq!(fleet.nodes()[1].tenants.len(), 18, "destination untouched");
-    }
-
-    #[test]
-    fn drain_skips_the_scan_until_capacity_is_released() {
-        // Regression for the epoch-drain hot path: once a pass leaves the
-        // head unplaced, further drains are O(1) until a departure (or
-        // migration) frees node capacity.
-        let mut fleet = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
-            "small",
-            GpuSpec::synthetic(23),
-        )]));
-        let mut i = 0;
-        let mut names = Vec::new();
-        loop {
-            let t = tenant(i);
-            let name = t.name.clone();
-            match fleet.dispatch(t) {
-                DispatchOutcome::Placed(_) => names.push(name),
-                DispatchOutcome::Queued => break,
-                other => panic!("unexpected {other:?}"),
-            }
-            i += 1;
-        }
-        // Queue one more waiter behind the first.
-        assert_eq!(fleet.dispatch(tenant(i + 1)), DispatchOutcome::Queued);
-        let before = fleet.drain_scans();
-        assert_eq!(fleet.drain_queue(), 0, "nothing departed yet");
-        assert_eq!(fleet.drain_scans(), before + 1, "first pass scans");
-        for _ in 0..5 {
-            assert_eq!(fleet.drain_queue(), 0);
-        }
-        assert_eq!(
-            fleet.drain_scans(),
-            before + 1,
-            "no release, no further scans"
-        );
-        // Ordering is preserved across the skipped passes: the departure
-        // admits the first-queued tenant, not the later one.
-        assert_eq!(
-            fleet.queued_names(),
-            vec![tenant(i).name, tenant(i + 1).name]
-        );
-        assert!(fleet.remove(&names[0]));
-        assert_eq!(fleet.drain_queue(), 1);
-        assert_eq!(fleet.drain_scans(), before + 2, "release re-arms the scan");
-        assert_eq!(fleet.queued_names(), vec![tenant(i + 1).name]);
-    }
-
-    #[test]
-    fn priority_policy_admits_heavier_waiters_first() {
-        let cfg = FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))])
-            .with_queue_policy(crate::QueuePolicy::Priority);
-        let mut fleet = Fleet::new(cfg);
-        let mut i = 0;
-        let mut resident = Vec::new();
-        loop {
-            let t = tenant(i);
-            let name = t.name.clone();
-            match fleet.dispatch(t) {
-                DispatchOutcome::Placed(_) => resident.push(name),
-                DispatchOutcome::Queued => break,
-                other => panic!("unexpected {other:?}"),
-            }
-            i += 1;
-        }
-        // The saturating arrival queued with default weight; add a
-        // heavier later waiter that must overtake it in drain order.
-        let vip = TenantSpec::new("vip", ModelKind::ResNet18, 30.0).with_weight(9);
-        assert_eq!(fleet.dispatch(vip), DispatchOutcome::Queued);
-        assert_eq!(fleet.queued_names()[0], "vip");
-        assert!(fleet.remove(&resident[0]));
-        assert_eq!(fleet.drain_queue(), 1);
-        assert!(
-            fleet.queued_names().iter().all(|n| n != "vip"),
-            "the heavier waiter was admitted first"
-        );
-    }
-
-    #[test]
-    fn repricing_admits_degraded_then_upgrades_after_departures() {
-        let cfg = FleetConfig::new(vec![NodeSpec::sgprs("gpu", GpuSpec::rtx_2080_ti())])
-            .with_repricing();
-        let mut fleet = Fleet::new(cfg);
-        // Saturate at 30 fps with no-ladder fillers: leftover headroom is
-        // strictly below one filler demand `d`.
-        let mut i = 0;
-        let mut fillers = Vec::new();
-        loop {
-            let t = tenant(i);
-            let name = t.name.clone();
-            match fleet.dispatch(t) {
-                DispatchOutcome::Placed(_) => fillers.push(name),
-                DispatchOutcome::Queued => {
-                    assert!(fleet.remove(&name), "scaffolding waiter removed");
-                    break;
-                }
-                other => panic!("unexpected {other:?}"),
-            }
-            i += 1;
-        }
-        // One departure lifts headroom into [d, 2d): a 60 fps request
-        // (demand exactly 2d) cannot fit, its 30 fps ladder step (demand
-        // exactly d) must.
-        assert!(fleet.remove(&fillers[0]));
-        let priced = TenantSpec::new("elastic", ModelKind::ResNet18, 60.0)
-            .with_fps_ladder([30.0, 24.0, 15.0]);
-        let outcome = fleet.dispatch(priced);
-        let DispatchOutcome::PlacedDegraded { fps, .. } = outcome else {
-            panic!("expected a degraded admission, got {outcome:?}");
-        };
-        assert!((fps - 30.0).abs() < 1e-12, "top viable step wins: {fps}");
-        assert_eq!(fleet.degraded_residents(), 1);
-        // Two more departures free 2d; a run over an empty trace upgrades
-        // the tenant back to its requested rate (one more d) at the next
-        // epoch boundary.
-        assert!(fleet.remove(&fillers[1]));
-        assert!(fleet.remove(&fillers[2]));
-        let m = fleet.run(ChurnTrace::new(), SimDuration::from_secs(2));
-        assert!(m.upgrades >= 1, "{m:?}");
-        assert_eq!(fleet.degraded_residents(), 0, "fully restored");
-        let restored = fleet
-            .nodes()
-            .iter()
-            .flat_map(|n| n.tenants.iter())
-            .find(|t| t.name == "elastic")
-            .expect("still resident");
-        assert!((restored.fps - 60.0).abs() < 1e-12, "{}", restored.fps);
-    }
-
-    #[test]
-    fn repricing_keeps_infeasible_models_out_unless_a_step_fits() {
-        // VGG-16@30fps is latency-infeasible everywhere; with a ladder
-        // step at 15 fps (feasible on a full device) re-pricing admits it
-        // degraded instead of dropping it.
-        let mut fleet = Fleet::new(
-            FleetConfig::new(vec![NodeSpec::sgprs("gpu", GpuSpec::rtx_2080_ti())])
-                .with_repricing(),
-        );
-        let vgg = TenantSpec::new("vgg", ModelKind::Vgg16, 30.0).with_fps_ladder([15.0]);
-        match fleet.dispatch(vgg) {
-            DispatchOutcome::PlacedDegraded { fps, .. } => {
-                assert!((fps - 15.0).abs() < 1e-12);
-            }
-            other => panic!("expected degraded admission, got {other:?}"),
-        }
-        // Without a ladder the same model is still dropped outright.
-        let hopeless = TenantSpec::new("vgg2", ModelKind::Vgg16, 30.0);
-        assert_eq!(fleet.dispatch(hopeless), DispatchOutcome::Infeasible);
-    }
-
-    #[test]
-    fn expired_waiters_count_as_rejections() {
-        // One saturated small node; a waiter with a 1-epoch patience
-        // gives up and is accounted as an eventual rejection.
-        let cfg = || FleetConfig::new(vec![NodeSpec::sgprs("small", GpuSpec::synthetic(23))]);
-        let mut scratch = Fleet::new(cfg());
-        let mut fit = 0;
-        while matches!(scratch.dispatch(tenant(fit)), DispatchOutcome::Placed(_)) {
-            fit += 1;
-        }
-        let mut trace = ChurnTrace::new();
-        for i in 0..fit {
-            trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(i)));
-        }
-        trace.push(
-            sgprs_rt::SimTime::ZERO,
-            crate::ChurnEvent::Arrival(
-                TenantSpec::new("impatient", ModelKind::ResNet18, 30.0)
-                    .with_max_wait(SimDuration::from_secs(1)),
-            ),
-        );
-        let mut fleet = Fleet::new(cfg());
-        let m = fleet.run(trace, SimDuration::from_secs(4));
-        assert_eq!(m.deferred, 1);
-        assert_eq!(m.expired, 1, "{m:?}");
-        assert_eq!(m.rejected, 1, "an expired waiter was never served");
-        assert_eq!(m.still_queued, 0, "it left the queue");
-        assert_eq!(fleet.queued(), 0);
-    }
-
-    #[test]
-    fn second_run_restarts_the_queue_clock_for_carried_over_waiters() {
-        // Regression: a waiter surviving run 1 used to keep its absolute
-        // enqueue stamp, so run 2 (whose clock restarts at zero) measured
-        // nonsense waits and stretched the patience window far past
-        // `max_wait`. Each run now re-stamps carried-over waiters at its
-        // own start.
-        let mut fleet = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
-            "small",
-            GpuSpec::synthetic(23),
-        )]));
-        let mut fit = 0;
-        while matches!(fleet.dispatch(tenant(fit)), DispatchOutcome::Placed(_)) {
-            fit += 1;
-        }
-        assert!(fleet.remove(&tenant(fit).name), "scaffolding waiter out");
-        let mut trace = ChurnTrace::new();
-        trace.push(
-            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(3_500),
-            crate::ChurnEvent::Arrival(
-                TenantSpec::new("patient", ModelKind::ResNet18, 30.0)
-                    .with_max_wait(SimDuration::from_secs(2)),
-            ),
-        );
-        let m1 = fleet.run(trace, SimDuration::from_secs(4));
-        assert_eq!(m1.deferred, 1);
-        assert_eq!(m1.expired, 0, "deadline 5.5s is past run 1's horizon");
-        assert_eq!(m1.still_queued, 1);
-        // Run 2 is short: the re-based 2-second patience does not elapse.
-        let m2 = fleet.run(ChurnTrace::new(), SimDuration::from_secs(2));
-        assert_eq!(m2.expired, 0, "patience restarted, not inherited");
-        assert_eq!(m2.still_queued, 1);
-        // Run 3 is long enough for the re-based patience to elapse.
-        let m3 = fleet.run(ChurnTrace::new(), SimDuration::from_secs(4));
-        assert_eq!(m3.expired, 1, "{m3:?}");
-        assert_eq!(m3.still_queued, 0);
-    }
-
-    #[test]
-    fn fifo_default_metrics_are_bit_identical_to_the_pre_queue_dispatcher() {
-        // The default config must not change behaviour: same run, same
-        // JSON, with the new counters pinned at zero.
-        let run_once = || {
-            let mut fleet = Fleet::new(three_node_fleet().with_seed(7));
-            let churn = ChurnConfig {
-                mean_interarrival: SimDuration::from_millis(150),
-                ..ChurnConfig::default()
-            };
-            let horizon = SimDuration::from_secs(3);
-            let trace = ChurnTrace::generate(&churn, horizon, 3);
-            fleet.run(trace, horizon)
-        };
-        let m = run_once();
-        assert_eq!(m.degraded, 0);
-        assert_eq!(m.upgrades, 0);
-        assert_eq!(m.expired, 0);
-        assert_eq!(m, run_once());
-    }
-
-    #[test]
-    fn event_runs_are_deterministic_and_truncation_free() {
-        let run_once = || {
-            let mut fleet = Fleet::new(three_node_fleet().with_seed(99));
-            let churn = ChurnConfig::default();
-            let horizon = SimDuration::from_secs(3);
-            let trace = ChurnTrace::generate(&churn, horizon, 5);
-            fleet.run_events(trace, horizon)
-        };
-        let m = run_once();
-        assert_eq!(m, run_once(), "event runs are deterministic per seed");
-        assert_eq!(m.truncated_jobs, 0, "{m:?}");
-        assert!(m.total_fps > 0.0);
-        assert_eq!(m.schema_version, crate::METRICS_SCHEMA_VERSION);
-    }
-
-    #[test]
-    fn event_departures_apply_at_their_exact_instant() {
-        // The epoch path serves a departing tenant through the end of
-        // its final partial epoch; the event path stops its releases at
-        // the departure instant exactly. One 30 fps tenant departing at
-        // 1.5 s into a 3 s run: ~45 releases, not ~60 and not ~90.
-        let mut fleet = Fleet::new(three_node_fleet());
-        let t = tenant(0);
-        let name = t.name.clone();
-        let mut trace = ChurnTrace::new();
-        trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(t));
-        trace.push(
-            sgprs_rt::SimTime::ZERO + SimDuration::from_millis(1_500),
-            crate::ChurnEvent::Departure(name),
-        );
-        let m = fleet.run_events(trace, SimDuration::from_secs(3));
-        assert_eq!(m.departures, 1);
-        assert!(fleet.nodes().iter().all(|n| n.tenants.is_empty()));
-        let released: u64 = m.nodes.iter().map(|n| n.released).sum();
-        assert!(
-            (44..=46).contains(&released),
-            "30 fps × 1.5 s at the exact boundary: {released}"
-        );
-        assert_eq!(m.truncated_jobs, 0, "the final in-flight job completed");
-    }
-
-    #[test]
-    fn event_migration_pays_the_configured_stall() {
-        // Force-overload the small node (mirroring the epoch-path
-        // migration test): event mode must shed load at a release
-        // boundary and charge the state-transfer stall for it.
-        let cfg = FleetConfig::new(vec![
-            NodeSpec::sgprs("small", GpuSpec::synthetic(16)),
-            NodeSpec::sgprs("big", GpuSpec::rtx_2080_ti()),
-        ])
-        .with_migration(0.05)
-        .with_migration_cost(SimDuration::from_millis(100));
-        let mut fleet = Fleet::new(cfg);
-        for i in 0..6 {
-            fleet.nodes[0].tenants.push(tenant(i));
-        }
-        let m = fleet.run_events(ChurnTrace::new(), SimDuration::from_secs(3));
-        assert!(m.migrations > 0, "{m:?}");
-        assert!(
-            (m.migration_stall_secs - 0.1 * m.migrations as f64).abs() < 1e-9,
-            "each migration stalls for exactly the configured cost: {m:?}"
-        );
-        assert!(fleet.nodes()[0].tenants.len() < 6, "the small node shed load");
-        assert!(!fleet.nodes()[1].tenants.is_empty(), "the big node absorbed it");
-        assert_eq!(m.truncated_jobs, 0);
-    }
-
-    #[test]
-    fn migration_cost_survives_builder_order() {
-        // Regression: `with_migration` used to rebuild the whole
-        // MigrationConfig from its default, silently resetting a cost
-        // set earlier in the chain.
-        let cost = SimDuration::from_millis(500);
-        let early = FleetConfig::new(vec![NodeSpec::sgprs("g", GpuSpec::rtx_2080_ti())])
-            .with_migration_cost(cost)
-            .with_migration(0.1);
-        let late = FleetConfig::new(vec![NodeSpec::sgprs("g", GpuSpec::rtx_2080_ti())])
-            .with_migration(0.1)
-            .with_migration_cost(cost);
-        assert_eq!(early.migration.cost, cost, "cost set before with_migration");
-        assert_eq!(early.migration, late.migration, "builder order is irrelevant");
-        assert!(early.migration.enabled);
-    }
-
-    #[test]
-    fn reused_tenant_name_is_immune_to_its_predecessors_stale_events() {
-        // Regression: a departed tenant's still-pending JobCompletion /
-        // DeadlineCheck used to match a same-named successor (job serials
-        // restart at 0), clearing the new run's busy flag so it served
-        // overlapping jobs. Overload one node past its period (admission
-        // bound deliberately past capacity), churn the same name out and
-        // back in while the first incarnation's job is in flight, and
-        // pin the deterministic outcome.
-        let cfg = || {
-            let mut c = FleetConfig::new(vec![NodeSpec::sgprs("g", GpuSpec::synthetic(34))]);
-            c.admission.utilization_bound = 1.5;
-            c
-        };
-        let trace = || {
-            let mut trace = ChurnTrace::new();
-            for i in 0..16 {
-                trace.push(sgprs_rt::SimTime::ZERO, crate::ChurnEvent::Arrival(tenant(i)));
-            }
-            // Depart while cam-15's stretched first job is still
-            // running (arrivals interleave with releases, so the LAST
-            // arrival's first job is the one admitted at full load and
-            // still in flight here)…
-            trace.push(
-                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(38),
-                crate::ChurnEvent::Departure(tenant(15).name),
-            );
-            // …and reuse the name before that job's completion fires.
-            trace.push(
-                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(40),
-                crate::ChurnEvent::Arrival(tenant(15)),
-            );
-            trace
-        };
-        let horizon = SimDuration::from_secs(2);
-        let m = Fleet::new(cfg()).run_events(trace(), horizon);
-        assert_eq!(m.departures, 1);
-        assert_eq!(m.admitted, 17, "the reused name is re-admitted: {m:?}");
-        assert_eq!(m.truncated_jobs, 0);
-        // A guard regression trips the engine's overlapping-jobs
-        // debug assertion mid-run (verified by mutation); the pinned
-        // totals additionally lock the deterministic outcome.
-        assert_eq!(m, Fleet::new(cfg()).run_events(trace(), horizon));
-        let node = &m.nodes[0];
-        assert_eq!(
-            (node.released, node.completed, node.missed),
-            (976, 496, 964),
-            "stale-event immunity changed the served-frame accounting: {m:?}"
-        );
-    }
-
-    #[test]
-    fn departed_pre_run_waiter_does_not_shadow_a_reused_name() {
-        // Regression (both paths): a pre-run waiter departing mid-run
-        // used to leave its name in the pre-run set, so a later
-        // same-named deferred arrival that was eventually admitted
-        // matched the stale entry and was reported rejected.
-        let saturated = || {
-            let mut fleet = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
-                "small",
-                GpuSpec::synthetic(23),
-            )]));
-            let mut i = 0;
-            while matches!(fleet.dispatch(tenant(i)), DispatchOutcome::Placed(_)) {
-                i += 1;
-            }
-            // tenant(i) queued pre-run under the name the trace reuses.
-            (fleet, i)
-        };
-        let trace = |i: usize| {
-            let mut trace = ChurnTrace::new();
-            // The pre-run waiter departs while still queued (the epoch
-            // path applies this at the 1 s boundary — the granularity
-            // contract — so the name reuse below waits past it)…
-            trace.push(
-                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(100),
-                crate::ChurnEvent::Departure(tenant(i).name),
-            );
-            // …a fresh arrival reuses its name and must wait too…
-            trace.push(
-                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(1_200),
-                crate::ChurnEvent::Arrival(tenant(i)),
-            );
-            // …until a resident departs (applied at the 2 s boundary on
-            // the epoch path) and frees one slot.
-            trace.push(
-                sgprs_rt::SimTime::ZERO + SimDuration::from_millis(1_400),
-                crate::ChurnEvent::Departure(tenant(0).name),
-            );
-            trace
-        };
-        for event_driven in [false, true] {
-            let (mut fleet, i) = saturated();
-            let horizon = SimDuration::from_secs(3);
-            let m = if event_driven {
-                fleet.run_events(trace(i), horizon)
-            } else {
-                fleet.run(trace(i), horizon)
-            };
-            assert_eq!(m.deferred, 1, "event={event_driven}: {m:?}");
-            assert_eq!(
-                m.admitted_after_wait, 1,
-                "event={event_driven}: the reused name is this run's deferral, \
-                 not the departed pre-run waiter: {m:?}"
-            );
-            assert_eq!(m.rejected, 0, "event={event_driven}: {m:?}");
-            assert!(m.queue_wait_mean_secs > 0.0, "event={event_driven}: {m:?}");
-        }
-    }
-
-    #[test]
-    fn run_configured_dispatches_on_the_event_flag() {
-        let trace = || ChurnTrace::static_population((0..3).map(tenant));
-        let horizon = SimDuration::from_secs(2);
-        let epoch = Fleet::new(three_node_fleet())
-            .run_configured(trace(), horizon);
-        let event = Fleet::new(three_node_fleet().with_event_driven())
-            .run_configured(trace(), horizon);
-        // The epoch path truncates the final in-flight job per tenant
-        // per epoch; the event path never does — the flag observably
-        // switched modes.
-        assert!(epoch.truncated_jobs > 0, "{epoch:?}");
-        assert_eq!(event.truncated_jobs, 0, "{event:?}");
-        assert_eq!(
-            epoch,
-            Fleet::new(three_node_fleet()).run(trace(), horizon),
-            "default mode is the classic epoch path, bit for bit"
-        );
-    }
-
-    #[test]
-    fn heterogeneous_nodes_and_schedulers_coexist() {
-        let cfg = FleetConfig::new(vec![
-            NodeSpec::sgprs("sgprs", GpuSpec::rtx_2080_ti()),
-            NodeSpec::sgprs("naive", GpuSpec::synthetic(34))
-                .with_scheduler(NodeScheduler::Naive),
-        ]);
-        let mut fleet = Fleet::new(cfg);
-        let trace = ChurnTrace::static_population((0..4).map(tenant));
-        let m = fleet.run(trace, SimDuration::from_secs(2));
-        assert!(m.total_fps > 0.0);
-        assert_eq!(m.nodes.len(), 2);
-        assert!(m.nodes.iter().all(|n| n.released > 0));
-    }
-}
+mod tests;

@@ -20,12 +20,21 @@
 //!   rejected (queued) instead of silently missing deadlines.
 //! * [`Placer`] / [`PlacementPolicy`] — round-robin, least-utilisation,
 //!   and best-fit placement over admissible nodes.
+//! * [`policy`] — the **dispatch-policy kernel**: one backend-agnostic
+//!   home for admission+placement planning (flat, shard-scan, or
+//!   power-of-two-choices), the re-pricing ladder walk, queue
+//!   feasibility and demand-aware expiry, upgrade candidates, and
+//!   migration victim ([`MigrationVictimPolicy`]) / destination choice
+//!   — consumed identically by the epoch path, the event engine, and
+//!   sharded dispatch, so the engines cannot fork on decisions.
 //! * [`ChurnTrace`] / [`ChurnConfig`] — deterministic arrival/departure
 //!   traces driven by [`sgprs_rt::SimTime`].
 //! * [`Fleet`] / [`FleetConfig`] — the epoch-driven dispatcher, with
 //!   optional migration off overloaded nodes. Per-epoch node execution
 //!   fans out over scoped worker threads with bit-identical metrics
-//!   (see the determinism contract in the `fleet` module docs).
+//!   (see the determinism contract in the `fleet` module docs). The
+//!   fleet module itself is orchestration only: every decision routes
+//!   through [`policy`].
 //! * [`event`] — the discrete-event core behind [`Fleet::run_events`]:
 //!   a monotonic `(time, node, seq)` event queue carrying scheduler
 //!   state across what used to be epoch boundaries, so no in-flight job
@@ -40,10 +49,14 @@
 //!   [`TenantSpec::fps_ladder`] step instead of rejecting, upgrade back
 //!   in place when capacity frees — both directions are SGPRS partition
 //!   switches, never migrations.
-//! * [`ShardedFleet`] / [`ShardConfig`] — two-level dispatch: cached
-//!   per-shard capacity summaries route each arrival to a shard, the
-//!   placement policy runs inside it — O(shards + nodes/shard) instead
-//!   of O(nodes) per arrival.
+//! * [`ShardedFleet`] / [`ShardConfig`] / [`ShardRouter`] — two-level
+//!   dispatch: cached per-shard capacity summaries route each arrival
+//!   to a shard, the placement policy runs inside it —
+//!   O(shards + nodes/shard) under the ordered [`ShardRouter::Scan`],
+//!   or O(1) in the shard count under power-of-two-choices
+//!   ([`ShardRouter::P2c`]: probe two seeded shards, take the better,
+//!   sweep exhaustively only when both refuse), the regime
+//!   512–1024-node metro fleets dispatch in.
 //! * [`FleetMetrics`] — per-node and fleet-level FPS, miss rate,
 //!   rejection rate, and a utilisation histogram, aggregated from the
 //!   nodes' [`sgprs_core::RunMetrics`] and rendered as JSON.
@@ -77,20 +90,24 @@
 
 mod admission;
 mod churn;
+mod config;
 pub mod event;
 mod fleet;
 mod metrics;
 mod node;
 mod placement;
+pub mod policy;
 mod queue;
 mod shard;
 mod tenant;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
 pub use churn::{ChurnConfig, ChurnEvent, ChurnTrace};
-pub use fleet::{DispatchOutcome, Fleet, FleetConfig, MigrationConfig};
+pub use config::{FleetConfig, MigrationConfig};
+pub use fleet::{DispatchOutcome, Fleet};
+pub use policy::{FleetState, MigrationVictimPolicy};
 pub use queue::{QueueConfig, QueuePolicy, AGING_QUANTUM};
-pub use shard::{ShardConfig, ShardedFleet};
+pub use shard::{ShardConfig, ShardRouter, ShardedFleet};
 pub use metrics::{
     FleetMetrics, FleetMetricsBuilder, NodeReport, METRICS_SCHEMA_VERSION, UTILIZATION_BINS,
 };

@@ -20,6 +20,9 @@ pub const UTILIZATION_BINS: usize = 10;
 ///
 /// History: 1 — implicit pre-versioning schema (through PR 3);
 /// 2 — adds `schema_version`, `truncated_jobs`, `migration_stall_secs`.
+/// Within 2, `expired_hopeless` is an *optional* field emitted only when
+/// nonzero (demand-aware expiry is off by default), so default-path
+/// exports — and the golden snapshot pinning them — stay byte-stable.
 pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Accumulated results for one node across every epoch of a fleet run.
@@ -109,6 +112,15 @@ pub struct FleetMetrics {
     /// [`crate::TenantSpec::max_wait`] elapsed before capacity freed.
     /// Expired in-run deferrals count toward [`FleetMetrics::rejected`].
     pub expired: u64,
+    /// Queued tenants expired *early* by demand-aware expiry
+    /// ([`crate::QueueConfig::demand_aware_expiry`]): provably unable to
+    /// ever be admitted — no node could carry them even fully drained,
+    /// at any ladder step — so waiting out their patience could never
+    /// pay off. Counted separately from patience [`FleetMetrics::expired`];
+    /// in-run deferrals expired this way also count toward
+    /// [`FleetMetrics::rejected`]. Exported to JSON only when nonzero
+    /// (see [`METRICS_SCHEMA_VERSION`]).
+    pub expired_hopeless: u64,
     /// Mean wait (seconds) of this run's deferrals that were admitted
     /// out of the queue (0 when none were).
     pub queue_wait_mean_secs: f64,
@@ -164,6 +176,15 @@ impl FleetMetrics {
         out.push_str(&format!("  \"degraded\": {},\n", self.degraded));
         out.push_str(&format!("  \"upgrades\": {},\n", self.upgrades));
         out.push_str(&format!("  \"expired\": {},\n", self.expired));
+        if self.expired_hopeless > 0 {
+            // Optional field: emitted only when demand-aware expiry
+            // actually fired, keeping default-path exports (and the
+            // golden snapshot) byte-stable.
+            out.push_str(&format!(
+                "  \"expired_hopeless\": {},\n",
+                self.expired_hopeless
+            ));
+        }
         out.push_str(&format!(
             "  \"queue_wait_mean_secs\": {:.4},\n",
             self.queue_wait_mean_secs
@@ -250,6 +271,7 @@ pub struct FleetMetricsBuilder {
     pub(crate) degraded: u64,
     pub(crate) upgrades: u64,
     pub(crate) expired: u64,
+    pub(crate) expired_hopeless: u64,
     truncated: u64,
     migration_stall: SimDuration,
     wait_total: SimDuration,
@@ -284,6 +306,7 @@ impl FleetMetricsBuilder {
             degraded: 0,
             upgrades: 0,
             expired: 0,
+            expired_hopeless: 0,
             truncated: 0,
             migration_stall: SimDuration::ZERO,
             wait_total: SimDuration::ZERO,
@@ -416,6 +439,7 @@ impl FleetMetricsBuilder {
             degraded: self.degraded,
             upgrades: self.upgrades,
             expired: self.expired,
+            expired_hopeless: self.expired_hopeless,
             truncated_jobs: self.truncated,
             migration_stall_secs: self.migration_stall.as_secs_f64(),
             schema_version: METRICS_SCHEMA_VERSION,
@@ -529,6 +553,25 @@ mod tests {
             json.matches('}').count(),
             "balanced braces"
         );
+    }
+
+    #[test]
+    fn expired_hopeless_is_an_optional_json_field() {
+        // Zero (the default path) leaves the export byte-identical to
+        // the pinned schema; a nonzero count surfaces explicitly.
+        let b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+        let silent = b.finish(SimDuration::from_secs(1), &[0], 0);
+        assert!(
+            !silent.to_json().contains("expired_hopeless"),
+            "zero stays out of the pinned schema"
+        );
+        let mut b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+        b.expired_hopeless = 2;
+        let m = b.finish(SimDuration::from_secs(1), &[0], 0);
+        assert_eq!(m.expired_hopeless, 2);
+        let json = m.to_json();
+        assert!(json.contains("\"expired_hopeless\": 2"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

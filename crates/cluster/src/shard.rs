@@ -13,14 +13,26 @@
 //!   smallest launch overhead in the shard, from which the router
 //!   derives a best-case latency no node in the shard can beat.
 //!
-//! An arrival is routed in two steps: an O(shards) scan orders the
-//! shards (provably latency-infeasible shards are skipped outright;
-//! shards whose spare budget covers the tenant's demand come first,
-//! most-spare first), then the regular [`crate::PlacementPolicy`] runs
-//! inside the chosen shard only — O(shards + nodes/shard) on the common
-//! path. The summaries are heuristics, not admission decisions: real
-//! admission always re-runs inside the shard, and when it disagrees the
-//! router simply falls through to the next shard, degrading to the flat
+//! How an arrival picks a shard is the [`ShardRouter`] strategy:
+//!
+//! * [`ShardRouter::Scan`] (the default) orders *every* shard —
+//!   provably latency-infeasible shards are skipped outright; shards
+//!   whose spare budget covers the tenant's demand come first,
+//!   most-spare first — then the regular [`crate::PlacementPolicy`]
+//!   runs inside the chosen shard only: O(shards + nodes/shard) per
+//!   arrival.
+//! * [`ShardRouter::P2c`] probes **two** deterministically chosen
+//!   shards (a seeded hash of the tenant name and a routing serial) and
+//!   tries the one with more spare budget first — O(1) in the shard
+//!   count, the difference between 64 shards and 128 shards vanishing
+//!   from the arrival hot path. Only when both probes refuse does the
+//!   planner fall back to an exhaustive sweep, so two-choice routing
+//!   can narrow *where* placement looks but never *whether* a feasible
+//!   node is found.
+//!
+//! The summaries are heuristics, not admission decisions: real admission
+//! always re-runs inside the shard, and when it disagrees the router
+//! simply falls through to the next candidate, degrading to the flat
 //! scan in the worst case rather than rejecting wrongly.
 
 use crate::{AdmissionController, ChurnTrace, DispatchOutcome, Fleet, FleetConfig, FleetMetrics,
@@ -29,15 +41,40 @@ use serde::{Deserialize, Serialize};
 use sgprs_rt::SimDuration;
 use std::ops::Range;
 
+/// The first-level routing strategy of a sharded fleet: how an arrival
+/// picks which shard to try (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardRouter {
+    /// Order every shard by cached spare budget, feasibility-filtered —
+    /// O(shards) per arrival, the classic behaviour and the default.
+    #[default]
+    Scan,
+    /// Power-of-two-choices: probe two deterministically chosen shards
+    /// and take the better, falling back to an exhaustive sweep only
+    /// when both refuse — O(1) per arrival in the shard count.
+    P2c,
+}
+
+impl core::fmt::Display for ShardRouter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShardRouter::Scan => f.write_str("scan"),
+            ShardRouter::P2c => f.write_str("p2c"),
+        }
+    }
+}
+
 /// Sharding knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardConfig {
     /// Nodes per shard (the last shard may be smaller).
     pub shard_size: usize,
+    /// First-level routing strategy ([`ShardRouter::Scan`] by default).
+    pub router: ShardRouter,
 }
 
 impl ShardConfig {
-    /// Shards of `shard_size` nodes.
+    /// Shards of `shard_size` nodes routed by the ordered scan.
     ///
     /// # Panics
     ///
@@ -45,7 +82,17 @@ impl ShardConfig {
     #[must_use]
     pub fn new(shard_size: usize) -> Self {
         assert!(shard_size > 0, "a shard needs at least one node");
-        ShardConfig { shard_size }
+        ShardConfig {
+            shard_size,
+            router: ShardRouter::Scan,
+        }
+    }
+
+    /// Replaces the routing strategy.
+    #[must_use]
+    pub fn with_router(mut self, router: ShardRouter) -> Self {
+        self.router = router;
+        self
     }
 }
 
@@ -61,28 +108,43 @@ pub(crate) struct ShardSummary {
 }
 
 /// The first routing level: contiguous shards of node indices with
-/// lazily maintained [`ShardSummary`]s.
+/// lazily maintained [`ShardSummary`]s, consulted through the
+/// configured [`ShardRouter`] strategy.
 #[derive(Debug)]
-pub(crate) struct ShardRouter {
+pub(crate) struct ShardDirectory {
     shard_size: usize,
     n_nodes: usize,
+    router: ShardRouter,
     summaries: Vec<Option<ShardSummary>>,
+    /// Serial mixed into the P2c probe hash so repeated routing attempts
+    /// for the same tenant spread over different shard pairs
+    /// (deterministic: it advances once per routing decision).
+    probe_serial: u64,
 }
 
-impl ShardRouter {
-    /// A router over `n_nodes` nodes in shards of `cfg.shard_size`.
+impl ShardDirectory {
+    /// A directory over `n_nodes` nodes in shards of `cfg.shard_size`.
     pub(crate) fn new(n_nodes: usize, cfg: &ShardConfig) -> Self {
         let shards = n_nodes.div_ceil(cfg.shard_size).max(1);
-        ShardRouter {
+        ShardDirectory {
             shard_size: cfg.shard_size,
             n_nodes,
+            router: cfg.router,
             summaries: vec![None; shards],
+            probe_serial: 0,
         }
     }
 
     /// Number of shards.
     pub(crate) fn shard_count(&self) -> usize {
         self.summaries.len()
+    }
+
+    /// Whether [`ShardDirectory::route`] already covered every feasible
+    /// shard (the ordered scan does; P2c returns two probes and relies
+    /// on the caller's fallback sweep).
+    pub(crate) fn is_exhaustive(&self) -> bool {
+        matches!(self.router, ShardRouter::Scan)
     }
 
     /// The node-index range shard `shard` covers.
@@ -154,12 +216,44 @@ impl ShardRouter {
         self.summaries[shard].expect("summary just refreshed")
     }
 
-    /// Orders the shards to try for `tenant`: shards where even the
-    /// best-case latency lower bound exceeds the tenant's period are
-    /// skipped (no node inside can ever admit it); the rest are sorted
-    /// with demand-covering shards first, most spare budget first, shard
-    /// index as the deterministic tie-break.
+    /// Whether the shard's best-case latency lower bound already rules
+    /// `tenant` out (no node inside can ever admit it).
+    pub(crate) fn latency_infeasible(
+        &mut self,
+        shard: usize,
+        nodes: &[FleetNode],
+        admission: &AdmissionController,
+        tenant: &TenantSpec,
+    ) -> bool {
+        let summary = self.summary(shard, nodes, admission);
+        let bound = admission.best_case_latency_at(
+            summary.max_context_sm,
+            summary.min_launch_overhead_ns,
+            tenant,
+        );
+        bound > tenant.period()
+    }
+
+    /// The shards to try for `tenant`, in order, under the configured
+    /// strategy. [`ShardRouter::Scan`] returns every feasible shard
+    /// (demand-covering shards first, most spare budget first, shard
+    /// index as the deterministic tie-break); [`ShardRouter::P2c`]
+    /// returns at most two probes — the caller sweeps the rest only if
+    /// both refuse (see [`ShardDirectory::is_exhaustive`]).
     pub(crate) fn route(
+        &mut self,
+        nodes: &[FleetNode],
+        admission: &AdmissionController,
+        tenant: &TenantSpec,
+    ) -> Vec<usize> {
+        match self.router {
+            ShardRouter::Scan => self.route_scan(nodes, admission, tenant),
+            ShardRouter::P2c => self.route_p2c(nodes, admission, tenant),
+        }
+    }
+
+    /// The ordered exhaustive scan (see [`ShardDirectory::route`]).
+    fn route_scan(
         &mut self,
         nodes: &[FleetNode],
         admission: &AdmissionController,
@@ -187,6 +281,71 @@ impl ShardRouter {
         });
         order.into_iter().map(|(shard, _, _)| shard).collect()
     }
+
+    /// The power-of-two-choices probe (see [`ShardDirectory::route`]):
+    /// two distinct shards drawn from a deterministic hash of the tenant
+    /// name and the routing serial, feasibility-filtered and ordered
+    /// better-probe-first by the same covering-then-spare criterion the
+    /// scan uses. Touches exactly two summaries, so the routing cost is
+    /// independent of how many shards the fleet has.
+    fn route_p2c(
+        &mut self,
+        nodes: &[FleetNode],
+        admission: &AdmissionController,
+        tenant: &TenantSpec,
+    ) -> Vec<usize> {
+        let n = self.shard_count();
+        if n == 1 {
+            return vec![0];
+        }
+        let h = splitmix64(fnv1a(&tenant.name) ^ self.probe_serial.wrapping_mul(0x9E37_79B9));
+        self.probe_serial = self.probe_serial.wrapping_add(1);
+        let a = (h % n as u64) as usize;
+        let b = {
+            let b = ((h >> 32) % (n as u64 - 1)) as usize;
+            if b >= a { b + 1 } else { b }
+        };
+        let demand = tenant.demand_sm_equivalents();
+        let period = tenant.period();
+        let mut probes: Vec<(usize, f64, bool)> = Vec::with_capacity(2);
+        for shard in [a, b] {
+            let summary = self.summary(shard, nodes, admission);
+            let bound = admission.best_case_latency_at(
+                summary.max_context_sm,
+                summary.min_launch_overhead_ns,
+                tenant,
+            );
+            if bound > period {
+                continue;
+            }
+            probes.push((shard, summary.spare_budget, summary.spare_budget >= demand));
+        }
+        probes.sort_by(|x, y| {
+            y.2.cmp(&x.2)
+                .then(y.1.total_cmp(&x.1))
+                .then(x.0.cmp(&y.0))
+        });
+        probes.into_iter().map(|(shard, _, _)| shard).collect()
+    }
+}
+
+/// FNV-1a over the tenant name: a stable, dependency-free string hash
+/// (the std hasher is seeded per process and would break determinism).
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The splitmix64 finalizer: spreads the probe hash over both halves so
+/// the two shard draws are decorrelated.
+fn splitmix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// A [`Fleet`] dispatching through the two-level shard router: the
@@ -216,12 +375,26 @@ impl ShardedFleet {
         }
     }
 
+    /// A sharded fleet routed by power-of-two-choices
+    /// ([`ShardRouter::P2c`]): arrival routing cost independent of the
+    /// shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size` is zero or `cfg.nodes` is empty.
+    #[must_use]
+    pub fn p2c(cfg: FleetConfig, shard_size: usize) -> Self {
+        ShardedFleet {
+            inner: Fleet::new(cfg.with_p2c_sharding(shard_size)),
+        }
+    }
+
     /// Number of shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.inner
             .router()
-            .map_or(1, ShardRouter::shard_count)
+            .map_or(1, ShardDirectory::shard_count)
     }
 
     /// The node-index ranges of every shard, in order.
@@ -345,6 +518,58 @@ mod tests {
     }
 
     #[test]
+    fn p2c_dispatch_saturates_at_the_same_population_as_flat() {
+        let mut flat = Fleet::new(FleetConfig::new(nodes(8)));
+        let mut p2c = ShardedFleet::p2c(FleetConfig::new(nodes(8)), 2);
+        let mut flat_placed = 0;
+        let mut p2c_placed = 0;
+        for i in 0..300 {
+            if matches!(flat.dispatch(tenant(i)), DispatchOutcome::Placed(_)) {
+                flat_placed += 1;
+            }
+            if matches!(p2c.dispatch(tenant(i)), DispatchOutcome::Placed(_)) {
+                p2c_placed += 1;
+            }
+        }
+        // The fallback sweep guarantees p2c never strands capacity the
+        // flat scan would use.
+        assert_eq!(flat_placed, p2c_placed, "same capacity either way");
+        assert!(p2c.queued() > 0);
+    }
+
+    #[test]
+    fn p2c_spreads_load_across_every_shard() {
+        let mut fleet = ShardedFleet::p2c(FleetConfig::new(nodes(8)), 2);
+        for i in 0..32 {
+            assert!(matches!(
+                fleet.dispatch(tenant(i)),
+                DispatchOutcome::Placed(_)
+            ));
+        }
+        for range in fleet.shard_ranges() {
+            let resident: usize = fleet.nodes()[range.clone()]
+                .iter()
+                .map(|n| n.tenants.len())
+                .sum();
+            assert!(resident > 0, "shard {range:?} left idle");
+        }
+    }
+
+    #[test]
+    fn p2c_routing_is_deterministic() {
+        let run_once = || {
+            let mut fleet = ShardedFleet::p2c(FleetConfig::new(nodes(12)), 3);
+            (0..24)
+                .map(|i| match fleet.dispatch(tenant(i)) {
+                    DispatchOutcome::Placed(idx) => idx,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_once(), run_once(), "same seq of routing decisions");
+    }
+
+    #[test]
     fn routing_spreads_load_across_shards() {
         let mut fleet = ShardedFleet::new(
             FleetConfig::new(nodes(8)).with_placement(PlacementPolicy::LeastUtilization),
@@ -383,6 +608,26 @@ mod tests {
         match fleet.dispatch(heavy) {
             DispatchOutcome::Placed(idx) => assert!(idx >= 2, "placed on a full device"),
             other => panic!("expected placement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn p2c_fallback_finds_the_only_feasible_shard() {
+        // Three of four shards hold tiny devices a ResNet34@60fps tenant
+        // can never run on; whatever pair p2c probes, the fallback sweep
+        // must land it in the single feasible shard.
+        let mut specs: Vec<NodeSpec> = (0..6)
+            .map(|i| NodeSpec::sgprs(format!("tiny{i}"), GpuSpec::synthetic(12)))
+            .collect();
+        specs.extend(nodes(2));
+        let mut fleet = ShardedFleet::p2c(FleetConfig::new(specs), 2);
+        for k in 0..8 {
+            let heavy = TenantSpec::new(format!("r34-{k}"), ModelKind::ResNet34, 60.0);
+            match fleet.dispatch(heavy) {
+                DispatchOutcome::Placed(idx) => assert!(idx >= 6, "full device only"),
+                DispatchOutcome::Queued => {} // the feasible shard saturated
+                other => panic!("expected placement or queue, got {other:?}"),
+            }
         }
     }
 

@@ -7,11 +7,11 @@
 
 use serde::{Deserialize, Serialize};
 use sgprs_cluster::{
-    ChurnConfig, ChurnTrace, Fleet, FleetConfig, FleetMetrics, ModelKind, NodeScheduler,
-    NodeSpec, PlacementPolicy, QueuePolicy, TenantSpec,
+    ChurnConfig, ChurnEvent, ChurnTrace, Fleet, FleetConfig, FleetMetrics, ModelKind,
+    NodeScheduler, NodeSpec, PlacementPolicy, QueuePolicy, ShardRouter, TenantSpec,
 };
 use sgprs_gpu_sim::GpuSpec;
-use sgprs_rt::SimDuration;
+use sgprs_rt::{SimDuration, SimTime};
 
 /// How a fleet scenario generates its tenant population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,6 +28,19 @@ pub enum TenantLoad {
     },
     /// Seeded churn: tenants arrive and depart over the run.
     Churn(ChurnConfig),
+    /// Metro-scale traffic: seeded base churn with periodic synchronized
+    /// arrival *bursts* superimposed (rush-hour waves of camera feeds
+    /// landing at once — the pattern that stresses O(1) routing).
+    Metro {
+        /// The steady base churn.
+        base: ChurnConfig,
+        /// Gap between burst waves.
+        burst_every: SimDuration,
+        /// Tenants per burst wave (they inherit the base churn's model
+        /// mix head, fps, ladder, and patience, and depart after the
+        /// base churn's maximum lifetime).
+        burst_size: usize,
+    },
 }
 
 /// One fleet experiment: nodes, placement policy, and offered load.
@@ -48,6 +61,10 @@ pub struct FleetScenario {
     /// Two-level sharded dispatch: nodes per shard (`None` = flat
     /// O(nodes) placement scan).
     pub sharding: Option<usize>,
+    /// First-level routing strategy when sharding is on:
+    /// [`ShardRouter::Scan`] orders every shard (the classic default),
+    /// [`ShardRouter::P2c`] probes two — O(1) in the shard count.
+    pub shard_router: ShardRouter,
     /// Wait-queue retry order (FIFO is the default and the classic
     /// fleet semantics).
     pub queue_policy: QueuePolicy,
@@ -81,6 +98,7 @@ impl FleetScenario {
             sim: SimDuration::from_secs(sim_secs),
             seed: 0x5672_5053,
             sharding: None,
+            shard_router: ShardRouter::Scan,
             queue_policy: QueuePolicy::Fifo,
             repricing: false,
             migration: None,
@@ -187,6 +205,75 @@ impl FleetScenario {
         }
     }
 
+    /// A metro-scale fleet: `n_nodes` heterogeneous devices (cycling
+    /// 68/46/34/23-SM sizes) behind power-of-two-choices routing over
+    /// 8-node shards — the 512–1024-node regime where even the ordered
+    /// O(shards) scan becomes the arrival bottleneck. Load is
+    /// [`TenantLoad::Metro`]: brisk base churn whose arrival rate grows
+    /// with the fleet (≈ one arrival per node per two seconds, lifetimes
+    /// 2–10 s) plus a synchronized burst wave of `n_nodes / 4` extra
+    /// feeds every two seconds — rush-hour traffic that lands on the
+    /// dispatcher at one instant. Every tenant carries a
+    /// 24/15/10 fps re-pricing ladder and two seconds of queue patience;
+    /// the queue drains earliest-deadline-first with re-pricing armed, so
+    /// bursts degrade gracefully instead of rejecting. Runs in either
+    /// engine (`with_event_driven` for the event core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    #[must_use]
+    pub fn metro_scale(n_nodes: usize, sim_secs: u64) -> Self {
+        assert!(n_nodes > 0, "a metro fleet needs nodes");
+        let sizes = [68u32, 46, 34, 23];
+        let nodes = (0..n_nodes)
+            .map(|i| {
+                let sm = sizes[i % sizes.len()];
+                let gpu = if sm == 68 {
+                    GpuSpec::rtx_2080_ti()
+                } else {
+                    GpuSpec::synthetic(sm)
+                };
+                NodeSpec::sgprs(format!("gpu{i}-{sm}sm"), gpu)
+            })
+            .collect();
+        // ≈ n/2 arrivals per second: the steady-state population settles
+        // around 2–3 tenants per node, keeping every epoch busy without
+        // drowning the simulation.
+        let mean_interarrival =
+            SimDuration::from_nanos((2_000_000_000 / n_nodes as u64).max(1_000_000));
+        let base = ChurnConfig {
+            mean_interarrival,
+            min_lifetime: SimDuration::from_secs(2),
+            max_lifetime: SimDuration::from_secs(10),
+            mix: vec![
+                (ModelKind::ResNet18, 6),
+                (ModelKind::MobileNet, 3),
+                (ModelKind::ResNet34, 1),
+            ],
+            fps: crate::PAPER_FPS,
+            stages: crate::PAPER_STAGES,
+            fps_ladder: vec![24.0, 15.0, 10.0],
+            max_wait: Some(SimDuration::from_secs(2)),
+        };
+        FleetScenario {
+            sharding: Some(8),
+            shard_router: ShardRouter::P2c,
+            queue_policy: QueuePolicy::EarliestDeadline,
+            repricing: true,
+            ..FleetScenario::base(
+                format!("metro-scale x{n_nodes} churn+bursts [p2c/8]"),
+                nodes,
+                TenantLoad::Metro {
+                    base,
+                    burst_every: SimDuration::from_secs(2),
+                    burst_size: (n_nodes / 4).max(1),
+                },
+                sim_secs,
+            )
+        }
+    }
+
     /// An overload burst over a small heterogeneous fleet: arrivals come
     /// several times faster than the two nodes can absorb, every tenant
     /// carries a 30→24→15→10 fps re-pricing ladder and a two-second
@@ -284,6 +371,16 @@ impl FleetScenario {
         self
     }
 
+    /// Replaces the shard routing strategy (for routing comparisons;
+    /// only meaningful with [`FleetScenario::sharding`] set) and
+    /// relabels like [`FleetScenario::with_placement`].
+    #[must_use]
+    pub fn with_shard_router(mut self, router: ShardRouter) -> Self {
+        self.shard_router = router;
+        self.label = format!("{} [router={router}]", self.label);
+        self
+    }
+
     /// Replaces the placement policy (for policy comparisons).
     #[must_use]
     pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
@@ -307,6 +404,44 @@ impl FleetScenario {
                 (0..*n).map(|i| TenantSpec::new(format!("{}-{i}", model.name()), *model, *fps)),
             ),
             TenantLoad::Churn(cfg) => ChurnTrace::generate(cfg, self.sim, self.seed),
+            TenantLoad::Metro {
+                base,
+                burst_every,
+                burst_size,
+            } => {
+                let mut trace = ChurnTrace::generate(base, self.sim, self.seed);
+                // Superimpose synchronized burst waves: `burst_size`
+                // extra feeds landing at one instant, every
+                // `burst_every`, each living out the base churn's
+                // maximum lifetime (departures inside the horizon are
+                // replayed; later ones simply never fire).
+                let model = base.mix.first().map_or(ModelKind::ResNet18, |&(m, _)| m);
+                let mut wave = 1u64;
+                loop {
+                    let at = SimTime::ZERO + burst_every.mul_f64(wave as f64);
+                    if at.duration_since(SimTime::ZERO) >= self.sim {
+                        break;
+                    }
+                    for i in 0..*burst_size {
+                        let mut tenant = TenantSpec::new(
+                            format!("burst-{wave}-{i}"),
+                            model,
+                            base.fps,
+                        )
+                        .with_stages(base.stages)
+                        .with_fps_ladder(base.fps_ladder.clone());
+                        tenant.max_wait = base.max_wait;
+                        let name = tenant.name.clone();
+                        trace.push(at, ChurnEvent::Arrival(tenant));
+                        let departure = at + base.max_lifetime;
+                        if departure.duration_since(SimTime::ZERO) < self.sim {
+                            trace.push(departure, ChurnEvent::Departure(name));
+                        }
+                    }
+                    wave += 1;
+                }
+                trace
+            }
         }
     }
 
@@ -322,7 +457,10 @@ impl FleetScenario {
             cfg = cfg.with_repricing();
         }
         if let Some(shard_size) = self.sharding {
-            cfg = cfg.with_sharding(shard_size);
+            cfg = match self.shard_router {
+                ShardRouter::Scan => cfg.with_sharding(shard_size),
+                ShardRouter::P2c => cfg.with_p2c_sharding(shard_size),
+            };
         }
         if let Some(threshold) = self.migration {
             cfg = cfg.with_migration(threshold);
@@ -383,6 +521,28 @@ mod tests {
         let mut flat = sharded.clone();
         flat.sharding = None;
         assert_eq!(flat.trace(), sharded.trace(), "same offered load");
+    }
+
+    #[test]
+    fn metro_scale_traces_superimpose_bursts_deterministically() {
+        let s = FleetScenario::metro_scale(512, 4);
+        assert_eq!(s.nodes.len(), 512);
+        assert_eq!(s.sharding, Some(8));
+        assert_eq!(s.shard_router, ShardRouter::P2c);
+        assert_eq!(s.trace(), s.trace(), "same seed, same trace");
+        let events = s.trace().into_sorted();
+        let burst_arrivals = events
+            .iter()
+            .filter(|(_, e)| matches!(e, ChurnEvent::Arrival(t) if t.name.starts_with("burst-")))
+            .count();
+        // Sim 4 s, a wave at 2 s of n/4 = 128 feeds.
+        assert_eq!(burst_arrivals, 128, "one wave inside the horizon");
+        let base_arrivals = events
+            .iter()
+            .filter(|(_, e)| matches!(e, ChurnEvent::Arrival(_)))
+            .count()
+            - burst_arrivals;
+        assert!(base_arrivals > 256, "brisk base churn: {base_arrivals}");
     }
 
     #[test]

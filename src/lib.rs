@@ -16,19 +16,24 @@
 //! * [`core`] — the SGPRS scheduler itself plus the naive and
 //!   reconfiguring baselines, with shared metrics.
 //! * [`cluster`] — the multi-GPU fleet: dispatching (flat, or two-level
-//!   sharded via `cluster::ShardedFleet` for 64-node-and-up fleets),
-//!   utilisation-bound admission control, placement policies,
-//!   policy-ordered wait queueing (`cluster::QueuePolicy`: FIFO,
-//!   priority-weight, earliest queue deadline, weighted-fair with
-//!   aging) with an fps re-pricing ladder (admit degraded instead of
-//!   rejecting, upgrade back in place as capacity frees), tenant churn,
-//!   migration, parallel per-epoch node execution with deterministic
+//!   sharded via `cluster::ShardedFleet`, with `cluster::ShardRouter`
+//!   choosing the ordered shard scan or O(1) power-of-two-choices
+//!   routing for 512–1024-node fleets), utilisation-bound admission
+//!   control, placement policies, policy-ordered wait queueing
+//!   (`cluster::QueuePolicy`: FIFO, priority-weight, earliest queue
+//!   deadline, weighted-fair with aging) with an fps re-pricing ladder
+//!   (admit degraded instead of rejecting, upgrade back in place as
+//!   capacity frees) and demand-aware expiry (provably hopeless waiters
+//!   drop early), tenant churn, migration (LIFO or demand-aware victim
+//!   selection), parallel per-epoch node execution with deterministic
 //!   metrics, and fleet-level metrics with a golden-pinned,
-//!   schema-versioned JSON export. Two execution modes: the classic
-//!   epoch grid, and the `cluster::event` discrete-event core
-//!   (`Fleet::run_events`) — exact release/departure boundaries, zero
-//!   epoch truncation, and mid-epoch migration paying an explicit
-//!   state-transfer stall while re-pricing switches stay free.
+//!   schema-versioned JSON export. Every dispatch decision lives in the
+//!   shared `cluster::policy` kernel, consumed identically by both
+//!   execution modes: the classic epoch grid, and the `cluster::event`
+//!   discrete-event core (`Fleet::run_events`) — exact
+//!   release/departure boundaries, zero epoch truncation, and mid-epoch
+//!   migration paying an explicit state-transfer stall while re-pricing
+//!   switches stay free.
 //! * [`workload`] — scenarios and sweeps reproducing the paper's figures
 //!   and the fleet-serving experiments beyond them.
 

@@ -380,6 +380,91 @@ fn fleet_metrics_json_schema_matches_golden_snapshot() {
     );
 }
 
+/// The p2c determinism matrix: with power-of-two-choices routing the
+/// probe pair comes from a seeded hash (never from wall-clock or map
+/// order), so the `FleetMetrics` JSON must be byte-identical across
+/// worker counts {1, 2, 4, 8} × {sequential, parallel} on the epoch
+/// path, and across workers {1, 4} on the (single-threaded) event path.
+#[test]
+fn p2c_dispatch_is_deterministic_across_workers_and_engines() {
+    let scenario = FleetScenario::heterogeneous_churn(4);
+    let epoch_run = |parallel: bool, workers: usize| {
+        let mut cfg = FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .with_workers(workers)
+            .with_p2c_sharding(2);
+        if !parallel {
+            cfg = cfg.sequential();
+        }
+        Fleet::new(cfg).run(scenario.trace(), scenario.sim).to_json()
+    };
+    let reference = epoch_run(false, 1);
+    for workers in [1usize, 2, 4, 8] {
+        for parallel in [false, true] {
+            assert_eq!(
+                epoch_run(parallel, workers),
+                reference,
+                "workers={workers} parallel={parallel}: p2c routing must be \
+                 byte-identical to the sequential reference"
+            );
+        }
+    }
+    let event_run = |workers: usize| {
+        let cfg = FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .with_workers(workers)
+            .with_p2c_sharding(2);
+        Fleet::new(cfg)
+            .run_events(scenario.trace(), scenario.sim)
+            .to_json()
+    };
+    let event_reference = event_run(1);
+    assert_eq!(event_run(4), event_reference, "event p2c run is worker-inert");
+}
+
+/// The metro-scale scenario end-to-end in both engines: 512
+/// heterogeneous nodes behind p2c routing absorb churn plus burst waves,
+/// the admission bound holds on every node afterwards, and the event
+/// path still never truncates a job at this scale.
+#[test]
+fn metro_scale_serves_in_both_engines() {
+    let epoch_scenario = FleetScenario::metro_scale(512, 4);
+    let event_scenario = FleetScenario::metro_scale(512, 4).with_event_driven();
+    assert_eq!(
+        epoch_scenario.trace(),
+        event_scenario.trace(),
+        "same offered load"
+    );
+    let epoch_m = epoch_scenario.run();
+    assert!(epoch_m.arrivals > 512, "brisk metro churn: {}", epoch_m.arrivals);
+    assert!(epoch_m.admitted > 0 && epoch_m.total_fps > 0.0);
+    assert_eq!(epoch_m.nodes.len(), 512);
+    let event_m = event_scenario.run();
+    assert_eq!(event_m.arrivals, epoch_m.arrivals, "same trace, same offers");
+    assert_eq!(event_m.truncated_jobs, 0, "{event_m:?}");
+    assert!(event_m.total_fps > 0.0);
+    // Routing through p2c summaries must never bypass per-node
+    // admission, even at metro scale.
+    let mut fleet = Fleet::new(
+        FleetConfig::new(epoch_scenario.nodes.clone())
+            .with_seed(epoch_scenario.seed)
+            .with_p2c_sharding(8),
+    );
+    let m = fleet.run(epoch_scenario.trace(), epoch_scenario.sim);
+    assert!(m.admitted > 0);
+    let ctl = AdmissionController::default();
+    for node in fleet.nodes() {
+        let budget = ctl.budget(node, None);
+        assert!(
+            node.total_demand() <= budget + 1e-9,
+            "{}: demand {:.1} within budget {:.1}",
+            node.spec.name,
+            node.total_demand(),
+            budget
+        );
+    }
+}
+
 /// The sharded scale-out scenario serves real traffic and the admission
 /// bound still holds on every node at the end — routing through shard
 /// summaries must never bypass per-node admission.

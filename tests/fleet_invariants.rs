@@ -1,17 +1,22 @@
-//! Property-based fleet invariants: the sharded dispatch plan and the
-//! flat placement scan must agree on feasibility over random fleets and
-//! tenants, planned nodes must always pass admission, and queue policies
-//! must keep their ordering guarantees.
+//! Property-based fleet invariants: the sharded dispatch plan (ordered
+//! scan *and* power-of-two-choices) and the flat placement scan must
+//! agree on feasibility over random fleets and tenants, planned nodes
+//! must always pass admission, queue policies must keep their ordering
+//! guarantees, and — since every decision now routes through the shared
+//! `cluster::policy` kernel — the epoch and event engines must make
+//! identical admission/placement decisions at matching decision
+//! instants for any trace.
 //!
 //! Case counts are deliberately small (each case builds a fleet and runs
 //! admission maths); CI pins `PROPTEST_CASES` for reproducibility.
 
 use proptest::prelude::*;
 use sgprs_suite::cluster::{
-    DispatchOutcome, Fleet, FleetConfig, ModelKind, NodeSpec, Placer, PlacementPolicy,
-    QueuePolicy, TenantSpec,
+    ChurnEvent, ChurnTrace, DispatchOutcome, Fleet, FleetConfig, ModelKind, NodeSpec, Placer,
+    PlacementPolicy, QueuePolicy, TenantSpec,
 };
 use sgprs_suite::gpu_sim::GpuSpec;
+use sgprs_suite::rt::{SimDuration, SimTime};
 
 const SM_SIZES: [u32; 5] = [12, 23, 34, 46, 68];
 const FPS_STEPS: [f64; 4] = [15.0, 24.0, 30.0, 60.0];
@@ -88,6 +93,139 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Power-of-two-choices routing agrees with the flat scan on
+    /// feasibility for any fleet state: probing two shards (plus the
+    /// exhaustive fallback sweep when both refuse) narrows where the
+    /// placement policy looks, never whether a feasible node is found —
+    /// and a planned node always passes real admission.
+    #[test]
+    fn p2c_plan_and_flat_scan_agree_on_feasibility(
+        size_idxs in prop::collection::vec(0usize..5, 1..10),
+        shard_size in 1usize..5,
+        preload in 0usize..48,
+        probes in prop::collection::vec((0usize..5, 0usize..4), 1..6),
+    ) {
+        let nodes: Vec<NodeSpec> = size_idxs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| node(i, s))
+            .collect();
+        let mut fleet = Fleet::new(FleetConfig::new(nodes).with_p2c_sharding(shard_size));
+        for i in 0..preload {
+            let _ = fleet.dispatch(tenant(i, i, i / 2));
+        }
+        for (k, &(model_idx, fps_idx)) in probes.iter().enumerate() {
+            let probe = TenantSpec::new(
+                format!("probe-{k}"),
+                ModelKind::ALL[model_idx],
+                FPS_STEPS[fps_idx],
+            );
+            let flat_choice =
+                Placer::new(PlacementPolicy::LeastUtilization)
+                    .place(fleet.nodes(), &probe, fleet.admission());
+            let p2c_choice = fleet.plan(&probe);
+            prop_assert_eq!(
+                flat_choice.is_some(),
+                p2c_choice.is_some(),
+                "flat {:?} vs p2c {:?} for {:?}",
+                flat_choice,
+                p2c_choice,
+                &probe
+            );
+            if let Some(idx) = p2c_choice {
+                prop_assert!(
+                    fleet.admission().evaluate(&fleet.nodes()[idx], &probe).is_admit(),
+                    "planned node {} rejects {:?}",
+                    idx,
+                    &probe
+                );
+            }
+        }
+    }
+
+    /// Both execution engines make identical kernel decisions at
+    /// matching decision instants: over an arbitrary arrivals-at-zero
+    /// trace (no departures, so both engines face the same fleet state
+    /// at every dispatch), the epoch run and the event run must admit,
+    /// defer, degrade, and place *identically* — same per-node resident
+    /// (name, fps) lists, same queue, same dispatch counters — under
+    /// any routing (flat, shard-scan, p2c) and with or without the
+    /// re-pricing ladder. This is the pin that the engines consume the
+    /// shared `cluster::policy` kernel and cannot silently fork.
+    #[test]
+    fn epoch_and_event_engines_make_identical_kernel_decisions(
+        size_idxs in prop::collection::vec(0usize..5, 1..6),
+        dispatch in 0usize..4,
+        repricing in any::<bool>(),
+        arrivals in prop::collection::vec((0usize..5, 0usize..4), 1..24),
+    ) {
+        let nodes: Vec<NodeSpec> = size_idxs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| node(i, s))
+            .collect();
+        let cfg = || {
+            let mut c = FleetConfig::new(nodes.clone());
+            c = match dispatch {
+                0 => c,
+                1 => c.with_sharding(2),
+                2 => c.with_p2c_sharding(2),
+                _ => c.with_sharding(3),
+            };
+            if repricing {
+                c = c.with_repricing();
+            }
+            c
+        };
+        let trace = || {
+            let mut t = ChurnTrace::new();
+            for (i, &(model_idx, fps_idx)) in arrivals.iter().enumerate() {
+                let spec = tenant(i, model_idx, fps_idx)
+                    .with_fps_ladder([12.0, 6.0, 3.0]);
+                t.push(SimTime::ZERO, ChurnEvent::Arrival(spec));
+            }
+            t
+        };
+        // A short horizon keeps the scheduler simulation cheap; the
+        // decisions under test all happen at t = 0.
+        let horizon = SimDuration::from_millis(200);
+        let mut epoch = Fleet::new(cfg());
+        let epoch_m = epoch.run(trace(), horizon);
+        let mut event = Fleet::new(cfg());
+        let event_m = event.run_events(trace(), horizon);
+        prop_assert_eq!(epoch_m.admitted, event_m.admitted, "admitted");
+        prop_assert_eq!(epoch_m.deferred, event_m.deferred, "deferred");
+        prop_assert_eq!(epoch_m.infeasible, event_m.infeasible, "infeasible");
+        prop_assert_eq!(epoch_m.duplicates, event_m.duplicates, "duplicates");
+        prop_assert_eq!(epoch_m.degraded, event_m.degraded, "degraded");
+        let residents = |f: &Fleet| -> Vec<Vec<(String, u64)>> {
+            f.nodes()
+                .iter()
+                .map(|n| {
+                    n.tenants
+                        .iter()
+                        .map(|t| (t.name.clone(), t.fps.to_bits()))
+                        .collect()
+                })
+                .collect()
+        };
+        prop_assert_eq!(
+            residents(&epoch),
+            residents(&event),
+            "identical placement decisions node by node"
+        );
+        prop_assert_eq!(
+            epoch.queued_names(),
+            event.queued_names(),
+            "identical queue contents and order"
+        );
+        prop_assert_eq!(
+            epoch.degraded_residents(),
+            event.degraded_residents(),
+            "identical re-pricing state"
+        );
     }
 
     /// The wait queue's drain order honours its policy for any arrival
