@@ -10,10 +10,42 @@
 //! both engines. Every row carries the run's wall-clock so
 //! dispatch-layer changes show up.
 //!
-//! Usage: `cargo run --release -p sgprs-bench --bin fleet [--sim-secs N] [--csv]`
+//! The overload-burst (re-pricing) and metro-scale rows run with the
+//! telemetry layer armed (250 ms windows): the metro section reports
+//! p99 queue wait and peak per-window queue depth from the merged
+//! sketches, and `--telemetry-csv` appends the per-window time-series
+//! of those runs as CSV.
+//!
+//! Usage: `cargo run --release -p sgprs-bench --bin fleet \
+//!     [--sim-secs N] [--csv] [--telemetry-csv]`
 
-use sgprs_cluster::{FleetMetrics, PlacementPolicy, QueuePolicy};
+use sgprs_cluster::{FleetMetrics, PlacementPolicy, QueuePolicy, TelemetryReport};
+use sgprs_rt::SimDuration;
 use sgprs_workload::FleetScenario;
+
+/// Window used for every telemetry-armed row in this binary.
+const TELEMETRY_WINDOW: SimDuration = SimDuration::from_millis(250);
+
+/// Appends one CSV row per telemetry window of a finished run.
+fn telemetry_windows_csv(scenario: &str, engine: &str, report: &TelemetryReport) {
+    for w in &report.windows {
+        println!(
+            "{scenario},{engine},{:.3},{},{},{},{},{},{},{},{:.4},{:.3},{:.3},{:.3}",
+            w.start_secs,
+            w.arrivals,
+            w.admitted,
+            w.degraded,
+            w.deferred,
+            w.expired,
+            w.migrations,
+            w.queue_depth_peak,
+            w.utilization_mean,
+            w.wait.p50_ms,
+            w.wait.p90_ms,
+            w.wait.p99_ms
+        );
+    }
+}
 
 const POLICIES: [PlacementPolicy; 3] = [
     PlacementPolicy::RoundRobin,
@@ -67,6 +99,7 @@ fn timed_run(scenario: &FleetScenario) -> (FleetMetrics, f64) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (sim_secs, csv) = sgprs_bench::parse_args(&args);
+    let telemetry_csv = args.iter().any(|a| a == "--telemetry-csv");
     let sim_secs = sim_secs.max(4);
 
     if csv {
@@ -121,7 +154,8 @@ fn main() {
     // buy a strictly lower eventual rejection rate at no DMR cost.
     let fifo = FleetScenario::overload_burst(sim_secs.max(6));
     let smart = FleetScenario::overload_burst(sim_secs.max(6))
-        .with_queue(QueuePolicy::EarliestDeadline, true);
+        .with_queue(QueuePolicy::EarliestDeadline, true)
+        .with_telemetry(TELEMETRY_WINDOW);
     let (fifo_m, fifo_ms) = timed_run(&fifo);
     let (smart_m, smart_ms) = timed_run(&smart);
     report(&fifo.label, "fifo-reject", &fifo_m, fifo_ms, csv);
@@ -169,8 +203,10 @@ fn main() {
     // The metro-scale smoke: 512 heterogeneous nodes behind
     // power-of-two-choices routing, brisk churn plus synchronized burst
     // waves, served by both engines over the same trace.
-    let metro_epoch = FleetScenario::metro_scale(512, sim_secs);
-    let metro_event = FleetScenario::metro_scale(512, sim_secs).with_event_driven();
+    let metro_epoch = FleetScenario::metro_scale(512, sim_secs).with_telemetry(TELEMETRY_WINDOW);
+    let metro_event = FleetScenario::metro_scale(512, sim_secs)
+        .with_event_driven()
+        .with_telemetry(TELEMETRY_WINDOW);
     let (metro_epoch_m, metro_epoch_ms) = timed_run(&metro_epoch);
     let (metro_event_m, metro_event_ms) = timed_run(&metro_event);
     report(&metro_epoch.label, "epoch-grid", &metro_epoch_m, metro_epoch_ms, csv);
@@ -186,5 +222,37 @@ fn main() {
             metro_epoch_ms,
             metro_event_ms
         );
+        // The telemetry headline: tail queueing behaviour the aggregate
+        // counters cannot show, read off the merged per-window sketches.
+        if let (Some(te), Some(tv)) = (&metro_epoch_m.telemetry, &metro_event_m.telemetry) {
+            println!(
+                "metro telemetry ({:.0} ms windows): p99 queue wait {:.1}/{:.1} ms \
+                 (epoch/event), peak queue depth {}/{}",
+                te.window_secs * 1e3,
+                te.queue_wait.p99_ms,
+                tv.queue_wait.p99_ms,
+                te.peak_queue_depth(),
+                tv.peak_queue_depth()
+            );
+        }
+    }
+    if telemetry_csv {
+        if !csv {
+            println!();
+            println!("== per-window telemetry (CSV) ==");
+        }
+        println!(
+            "scenario,engine,window_start_secs,arrivals,admitted,degraded,deferred,expired,\
+             migrations,queue_depth_peak,utilization_mean,wait_p50_ms,wait_p90_ms,wait_p99_ms"
+        );
+        for (scenario, engine, m) in [
+            ("overload-burst", "epoch", &smart_m),
+            ("metro-scale", "epoch", &metro_epoch_m),
+            ("metro-scale", "event", &metro_event_m),
+        ] {
+            if let Some(report) = &m.telemetry {
+                telemetry_windows_csv(scenario, engine, report);
+            }
+        }
     }
 }

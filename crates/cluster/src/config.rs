@@ -6,6 +6,7 @@
 //! kernel ([`crate::policy`]) or by one of the execution engines.
 
 use crate::policy::MigrationVictimPolicy;
+use crate::telemetry::TelemetryConfig;
 use crate::{AdmissionConfig, PlacementPolicy, QueueConfig, ShardConfig, ShardRouter};
 use crate::{NodeSpec, QueuePolicy};
 use sgprs_rt::SimDuration;
@@ -76,6 +77,10 @@ pub struct FleetConfig {
     /// cost. Off by default — the epoch path stays bit-for-bit the
     /// classic semantics.
     pub event_driven: bool,
+    /// Observability knobs (see [`crate::telemetry`]). Disabled by
+    /// default; enabling never changes simulation decisions, only what
+    /// gets recorded and exported (schema v3 with a `telemetry` block).
+    pub telemetry: TelemetryConfig,
 }
 
 impl FleetConfig {
@@ -100,7 +105,28 @@ impl FleetConfig {
             sharding: None,
             queue: QueueConfig::default(),
             event_driven: false,
+            telemetry: TelemetryConfig::disabled(),
         }
+    }
+
+    /// Replaces the telemetry configuration (see [`crate::telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables telemetry with time-series windows of the given length
+    /// (and no decision trace); shorthand for
+    /// [`TelemetryConfig::windowed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_telemetry_window(mut self, window: SimDuration) -> Self {
+        self.telemetry = TelemetryConfig::windowed(window);
+        self
     }
 
     /// Disables the parallel per-epoch fan-out: nodes run one after

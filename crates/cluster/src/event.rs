@@ -180,6 +180,7 @@ impl Ord for HeapEntry {
 pub struct EventQueue {
     heap: BinaryHeap<HeapEntry>,
     next_seq: u64,
+    ops: u64,
 }
 
 impl EventQueue {
@@ -194,6 +195,7 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, node: usize, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.ops += 1;
         self.heap.push(HeapEntry(SimEvent {
             time,
             node,
@@ -205,7 +207,19 @@ impl EventQueue {
     /// Removes and returns the earliest event under the
     /// `(time, node, seq)` order.
     pub fn pop(&mut self) -> Option<SimEvent> {
-        self.heap.pop().map(|e| e.0)
+        let popped = self.heap.pop().map(|e| e.0);
+        if popped.is_some() {
+            self.ops += 1;
+        }
+        popped
+    }
+
+    /// Total pushes + successful pops so far — the heap-traffic figure
+    /// telemetry surfaces as `event_queue_ops`. A pure function of the
+    /// simulated schedule, so it is deterministic.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
     }
 
     /// Number of pending events.

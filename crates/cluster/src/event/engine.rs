@@ -55,6 +55,7 @@ pub(crate) fn run_events(
         fleet.nodes.iter().map(|n| n.spec.gpu.total_sms).collect(),
     );
     let n_nodes = fleet.nodes.len();
+    fleet.telemetry.begin_run(n_nodes, horizon);
     let seed = fleet.cfg.seed;
     let mut engine = Engine {
         fleet,
@@ -184,10 +185,14 @@ impl Engine<'_> {
             self.in_flight, 0,
             "the event path never truncates: every admitted job ran to completion"
         );
+        self.fleet.telemetry.note_event_ops(self.events.ops());
         let final_tenants: Vec<usize> =
             self.fleet.nodes.iter().map(|n| n.tenants.len()).collect();
-        self.builder
-            .finish(horizon, &final_tenants, self.fleet.queue.len() as u64)
+        let mut metrics =
+            self.builder
+                .finish(horizon, &final_tenants, self.fleet.queue.len() as u64);
+        metrics.attach_telemetry(self.fleet.telemetry.finish_report());
+        metrics
     }
 
     /// Registers a (fresh-generation) run for `name` on node `idx` and
@@ -322,6 +327,10 @@ impl Engine<'_> {
                 job,
             );
             let finish = t + service;
+            // The fluid service time *is* the job's response time (the
+            // job is admitted at release), so it feeds the latency
+            // sketch the way the epoch fold feeds response samples.
+            self.fleet.telemetry.record_latency(idx, service.as_nanos());
             self.in_flight += 1;
             self.events.push(
                 finish,
@@ -472,6 +481,9 @@ impl Engine<'_> {
                 // transfer, stalling the migrant for the reconfiguration
                 // window. Re-pricing partition switches never pay this.
                 self.builder.record_migration_stall(cost);
+                self.fleet
+                    .telemetry
+                    .record_migration(t, &name, idx, Some(j), cost);
                 let gen = self.next_gen;
                 self.next_gen += 1;
                 let resume = if let Some(run) = self.runs.get_mut(&name) {
@@ -510,6 +522,9 @@ impl Engine<'_> {
                 self.drain_and_upgrade(t);
             }
             None => {
+                self.fleet
+                    .telemetry
+                    .record_migration(t, &victim.name, idx, None, SimDuration::ZERO);
                 // Nobody can take it; restore its slot and wait for
                 // fresh evidence before trying again (epoch-path pacing).
                 self.fleet.nodes[idx].tenants.insert(slot, victim);
@@ -533,8 +548,9 @@ impl Engine<'_> {
         for idx in 0..self.fleet.nodes.len() {
             let budget = self.fleet.admission().budget(&self.fleet.nodes[idx], None);
             let demand = self.fleet.nodes[idx].total_demand();
-            self.builder
-                .record_utilization(idx, if budget > 0.0 { demand / budget } else { 0.0 });
+            let utilization = if budget > 0.0 { demand / budget } else { 0.0 };
+            self.builder.record_utilization(idx, utilization);
+            self.fleet.telemetry.record_utilization(t, utilization);
         }
         if t < self.end {
             let next = (t + self.fleet.cfg.epoch).min(self.end);

@@ -57,6 +57,7 @@
 use crate::policy::{self, DispatchPlanner, FleetState, PricedPlan, QueueAdmission};
 use crate::queue::DispatchQueue;
 use crate::shard::ShardDirectory;
+use crate::telemetry::{Telemetry, PLAN_LATENCY_BINS};
 use crate::{
     AdmissionController, ChurnEvent, ChurnTrace, FleetConfig, FleetMetrics, FleetMetricsBuilder,
     FleetNode, TenantSpec,
@@ -132,6 +133,12 @@ pub struct Fleet {
     /// demand-aware expiry sweeps cost one map lookup per queued waiter
     /// after the first.
     hopeless_cache: HashMap<(crate::ModelKind, usize, u64), bool>,
+    /// The telemetry recorder (see [`crate::telemetry`]): armed by
+    /// `begin_run` when [`crate::TelemetryConfig::enabled`], a no-op on
+    /// every hook otherwise. All recording happens on the
+    /// single-threaded orchestration path, never inside the parallel
+    /// fan-out, so the report is deterministic across worker counts.
+    pub(crate) telemetry: Telemetry,
 }
 
 impl Fleet {
@@ -148,6 +155,7 @@ impl Fleet {
         let admission = AdmissionController::new(cfg.admission.clone());
         let planner = DispatchPlanner::new(cfg.placement, nodes.len(), cfg.sharding.as_ref());
         let queue = DispatchQueue::new(cfg.queue.policy);
+        let telemetry = Telemetry::new(cfg.telemetry.clone());
         Fleet {
             cfg,
             nodes,
@@ -162,6 +170,7 @@ impl Fleet {
             drain_scans: 0,
             degraded: BTreeMap::new(),
             hopeless_cache: HashMap::new(),
+            telemetry,
         }
     }
 
@@ -213,11 +222,16 @@ impl Fleet {
     /// [`DispatchPlanner::plan_repriced`], honouring
     /// [`crate::QueueConfig::repricing`]).
     fn plan_repriced(&mut self, tenant: &TenantSpec) -> Option<PricedPlan> {
-        self.planner.plan_repriced(
+        let clock = self.telemetry.plan_clock();
+        let before = self.planner.probes();
+        let plan = self.planner.plan_repriced(
             &FleetState::new(&self.nodes, &self.admission),
             tenant,
             self.cfg.queue.repricing,
-        )
+        );
+        self.telemetry
+            .note_plan(self.planner.probes() - before, clock);
+        plan
     }
 
     /// Makes `tenant` resident on node `idx`, keeping the active-name
@@ -275,6 +289,8 @@ impl Fleet {
         builder: &mut FleetMetricsBuilder,
     ) -> DispatchOutcome {
         builder.arrivals += 1;
+        let traced_name = self.telemetry.enabled().then(|| tenant.name.clone());
+        let probes_before = self.planner.probes();
         let outcome = self.dispatch(tenant);
         match &outcome {
             DispatchOutcome::Placed(_) => builder.admitted += 1,
@@ -285,6 +301,12 @@ impl Fleet {
             DispatchOutcome::Queued => builder.deferred += 1,
             DispatchOutcome::Infeasible => builder.infeasible += 1,
             DispatchOutcome::Duplicate => builder.duplicates += 1,
+        }
+        if let Some(name) = traced_name {
+            let probes = self.planner.probes() - probes_before;
+            let depth = self.queue.len();
+            self.telemetry
+                .record_arrival(self.now, &name, &outcome, probes, depth);
         }
         outcome
     }
@@ -322,9 +344,12 @@ impl Fleet {
         builder: &mut FleetMetricsBuilder,
         pre_run_queued: &mut HashSet<String>,
     ) -> bool {
+        let resident = self.telemetry.enabled() && self.locate(name).is_some();
         if self.remove(name) {
             builder.departures += 1;
             pre_run_queued.remove(name);
+            let depth = self.queue.len();
+            self.telemetry.record_departure(self.now, name, resident, depth);
             true
         } else {
             false
@@ -350,6 +375,7 @@ impl Fleet {
             return admitted;
         }
         self.drain_scans += 1;
+        self.telemetry.note_drain_scan();
         while let Some(entry) = self.queue.pop_first(self.now) {
             let Some(plan) = self.plan_repriced(&entry.tenant) else {
                 // The head fits at no price: stop (no overtaking) and put
@@ -394,13 +420,23 @@ impl Fleet {
     ) -> Vec<QueueAdmission> {
         let admissions = self.drain_queue_admissions();
         for adm in &admissions {
-            if !pre_run_queued.remove(&adm.name) {
+            let counted = !pre_run_queued.remove(&adm.name);
+            if counted {
                 builder.admitted_after_wait += 1;
                 builder.record_wait(adm.waited);
             }
             if adm.degraded {
                 builder.degraded += 1;
             }
+            let depth = self.queue.len();
+            self.telemetry.record_queue_admit(
+                self.now,
+                &adm.name,
+                adm.degraded,
+                adm.waited,
+                counted,
+                depth,
+            );
         }
         // Leftover capacity steps degraded residents back up their
         // ladders (an in-place partition switch, not a migration) —
@@ -496,11 +532,15 @@ impl Fleet {
         for name in self.expire_queued() {
             builder.expired += 1;
             pre_run_queued.remove(&name);
+            let depth = self.queue.len();
+            self.telemetry.record_expired(self.now, &name, false, depth);
         }
         if self.cfg.queue.demand_aware_expiry {
             for name in self.expire_hopeless() {
                 builder.expired_hopeless += 1;
                 pre_run_queued.remove(&name);
+                let depth = self.queue.len();
+                self.telemetry.record_expired(self.now, &name, true, depth);
             }
         }
     }
@@ -543,11 +583,13 @@ impl Fleet {
                     if (priced.fps - requested).abs() < 1e-12 {
                         self.degraded.remove(&name);
                     }
+                    let fps = priced.fps;
                     // Same slot, so placement order (and migration's LIFO
                     // victim choice) is unaffected by the price change.
                     self.nodes[idx].tenants.insert(pos, priced);
                     upgrades += 1;
                     self.planner.invalidate_node(idx);
+                    self.telemetry.record_upgrade(self.now, &name, fps);
                 }
                 None => self.nodes[idx].tenants.insert(pos, resident),
             }
@@ -570,6 +612,17 @@ impl Fleet {
     #[cfg(test)]
     fn drain_scans(&self) -> u64 {
         self.drain_scans
+    }
+
+    /// The wall-clock plan-latency histogram of the last finished run
+    /// (log2 nanosecond buckets: bucket `i` counts plans that took
+    /// `[2^i, 2^(i+1))` ns, the last catching everything above). All
+    /// zeros when telemetry was off. Wall-clock is not deterministic, so
+    /// this lives outside [`FleetMetrics`] and its JSON export — see
+    /// [`crate::telemetry`].
+    #[must_use]
+    pub fn plan_latency_histogram(&self) -> [u64; PLAN_LATENCY_BINS] {
+        self.telemetry.plan_latency_histogram()
     }
 
     fn compiled_for(&mut self, tenant: &TenantSpec, node_idx: usize) -> CompiledTask {
@@ -603,6 +656,7 @@ impl Fleet {
             self.nodes.iter().map(|n| n.spec.gpu.total_sms).collect(),
         );
         let workers = epoch_workers(self.cfg.parallel, self.cfg.workers);
+        self.telemetry.begin_run(self.nodes.len(), horizon);
         // Tenants already waiting when `run` starts are not this run's
         // deferrals: their later admission must not offset the eventual-
         // rejection count of arrivals deferred *by this run*.
@@ -673,10 +727,9 @@ impl Fleet {
             for idx in 0..self.nodes.len() {
                 let budget = self.admission.budget(&self.nodes[idx], None);
                 let demand = self.nodes[idx].total_demand();
-                builder.record_utilization(
-                    idx,
-                    if budget > 0.0 { demand / budget } else { 0.0 },
-                );
+                let utilization = if budget > 0.0 { demand / budget } else { 0.0 };
+                builder.record_utilization(idx, utilization);
+                self.telemetry.record_utilization(self.now, utilization);
                 if self.nodes[idx].tenants.is_empty() {
                     continue;
                 }
@@ -709,6 +762,11 @@ impl Fleet {
                     epoch_dmr[idx] = (m.late + m.skipped + m.dropped) as f64 / m.released as f64;
                 }
                 builder.record_epoch(idx, &m);
+                // Fold order is ascending node index (sorted above), so
+                // the latency sketches fill deterministically regardless
+                // of the worker count.
+                self.telemetry
+                    .record_latency_samples(idx, &m.response_samples_ns);
             }
             // 3. Shed load from nodes that missed too much this epoch.
             if self.cfg.migration.enabled {
@@ -728,7 +786,9 @@ impl Fleet {
         // filtered above), so it never exceeds `deferred`.
         builder.rejected = builder.deferred - builder.admitted_after_wait;
         let final_tenants: Vec<usize> = self.nodes.iter().map(|n| n.tenants.len()).collect();
-        builder.finish(horizon, &final_tenants, self.queue.len() as u64)
+        let mut metrics = builder.finish(horizon, &final_tenants, self.queue.len() as u64);
+        metrics.attach_telemetry(self.telemetry.finish_report());
+        metrics
     }
 
     /// Runs the fleet over `trace` until `horizon` in **event-driven**
@@ -802,6 +862,7 @@ impl Fleet {
                 epoch_dmr,
                 self.cfg.migration.dmr_threshold,
             );
+            let victim = self.telemetry.enabled().then(|| tenant.name.clone());
             match dest {
                 Some(j) => {
                     self.nodes[j].tenants.push(tenant);
@@ -814,6 +875,12 @@ impl Fleet {
                 }
                 // Nobody can take it; restore it to its original slot.
                 None => self.nodes[idx].tenants.insert(slot, tenant),
+            }
+            if let Some(victim) = victim {
+                // The epoch path models migration as free (its
+                // pre-existing contract): the traced stall is zero.
+                self.telemetry
+                    .record_migration(self.now, &victim, idx, dest, SimDuration::ZERO);
             }
         }
         migrations

@@ -60,6 +60,14 @@
 //! * [`FleetMetrics`] — per-node and fleet-level FPS, miss rate,
 //!   rejection rate, and a utilisation histogram, aggregated from the
 //!   nodes' [`sgprs_core::RunMetrics`] and rendered as JSON.
+//! * [`telemetry`] — opt-in observability over both engines: windowed
+//!   time-series of dispatch activity, mergeable deterministic
+//!   [`QuantileSketch`]es for queue-wait and job-latency percentiles
+//!   (folded in node-index order, byte-identical across worker counts),
+//!   and a ring-buffered decision trace ([`TraceEvent`]) with hot-path
+//!   profile counters. Off by default ([`TelemetryConfig::disabled`])
+//!   with a byte-identical schema-v2 export; enabling bumps the export
+//!   to schema v3 with a `telemetry` block.
 //!
 //! # Example
 //!
@@ -99,6 +107,7 @@ mod placement;
 pub mod policy;
 mod queue;
 mod shard;
+pub mod telemetry;
 mod tenant;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
@@ -109,8 +118,14 @@ pub use policy::{FleetState, MigrationVictimPolicy};
 pub use queue::{QueueConfig, QueuePolicy, AGING_QUANTUM};
 pub use shard::{ShardConfig, ShardRouter, ShardedFleet};
 pub use metrics::{
-    FleetMetrics, FleetMetricsBuilder, NodeReport, METRICS_SCHEMA_VERSION, UTILIZATION_BINS,
+    FleetMetrics, FleetMetricsBuilder, NodeReport, BASE_SCHEMA_VERSION, METRICS_SCHEMA_VERSION,
+    UTILIZATION_BINS,
 };
 pub use node::{FleetNode, NodeScheduler, NodeSpec};
 pub use placement::{Placer, PlacementPolicy};
+pub use telemetry::{
+    ArrivalVerdict, ProfileReport, QuantileSketch, SketchSummary, TelemetryConfig,
+    TelemetryReport, TraceEvent, WindowReport, DEFAULT_SKETCH_CAPACITY, PLAN_LATENCY_BINS,
+    RANK_ERROR_NUMERATOR,
+};
 pub use tenant::{ModelKind, TenantSpec};

@@ -6,6 +6,7 @@
 //! this module folds those per-epoch reports into fleet aggregates and
 //! renders them as JSON for downstream tooling.
 
+use crate::telemetry::TelemetryReport;
 use serde::{Deserialize, Serialize};
 use sgprs_core::RunMetrics;
 use sgprs_rt::SimDuration;
@@ -23,7 +24,17 @@ pub const UTILIZATION_BINS: usize = 10;
 /// Within 2, `expired_hopeless` is an *optional* field emitted only when
 /// nonzero (demand-aware expiry is off by default), so default-path
 /// exports — and the golden snapshot pinning them — stay byte-stable.
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+/// 3 — adds the `telemetry` block (windowed time-series, merged-sketch
+/// quantiles, profile counters, optional decision trace). A run with
+/// telemetry *off* — the default — still renders as
+/// [`BASE_SCHEMA_VERSION`] with no `telemetry` member, byte-identical to
+/// the pre-telemetry export, so the version number always tells the
+/// truth about the shape.
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
+
+/// The schema version rendered when telemetry is disabled: the v2 shape,
+/// unchanged byte-for-byte (see [`METRICS_SCHEMA_VERSION`]'s history).
+pub const BASE_SCHEMA_VERSION: u32 = 2;
 
 /// Accumulated results for one node across every epoch of a fleet run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,6 +144,11 @@ pub struct FleetMetrics {
     /// Histogram of per-node-per-epoch admission utilisation, 10 bins of
     /// width 0.1 with the last bin catching ≥ 0.9.
     pub utilization_histogram: [u64; UTILIZATION_BINS],
+    /// The run's telemetry ([`crate::TelemetryConfig`]): windowed
+    /// time-series, merged-sketch wait/latency quantiles, profile
+    /// counters, and the optional decision trace. `None` — and omitted
+    /// from the JSON export — when telemetry is disabled (the default).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl FleetMetrics {
@@ -205,6 +221,9 @@ impl FleetMetrics {
             out.push_str(&b.to_string());
         }
         out.push_str("],\n");
+        if let Some(telemetry) = &self.telemetry {
+            out.push_str(&telemetry.render_json());
+        }
         out.push_str("  \"nodes\": [\n");
         for (i, n) in self.nodes.iter().enumerate() {
             out.push_str("    {");
@@ -229,9 +248,19 @@ impl FleetMetrics {
         out.push_str("  ]\n}");
         out
     }
+
+    /// Attaches a finished telemetry report, bumping the export to
+    /// [`METRICS_SCHEMA_VERSION`]. A `None` report is a no-op: the
+    /// metrics keep the [`BASE_SCHEMA_VERSION`] shape.
+    pub fn attach_telemetry(&mut self, telemetry: Option<TelemetryReport>) {
+        if telemetry.is_some() {
+            self.telemetry = telemetry;
+            self.schema_version = METRICS_SCHEMA_VERSION;
+        }
+    }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -442,7 +471,10 @@ impl FleetMetricsBuilder {
             expired_hopeless: self.expired_hopeless,
             truncated_jobs: self.truncated,
             migration_stall_secs: self.migration_stall.as_secs_f64(),
-            schema_version: METRICS_SCHEMA_VERSION,
+            // Telemetry attaches afterwards (see `attach_telemetry`);
+            // until then the report has the v2 shape and says so.
+            schema_version: BASE_SCHEMA_VERSION,
+            telemetry: None,
             queue_wait_mean_secs: if self.wait_samples > 0 {
                 self.wait_total.as_secs_f64() / self.wait_samples as f64
             } else {
@@ -553,6 +585,46 @@ mod tests {
             json.matches('}').count(),
             "balanced braces"
         );
+    }
+
+    #[test]
+    fn attaching_telemetry_bumps_the_schema_version() {
+        use crate::telemetry::{ProfileReport, SketchSummary};
+        let b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+        let mut m = b.finish(SimDuration::from_secs(1), &[0], 0);
+        assert_eq!(m.schema_version, BASE_SCHEMA_VERSION);
+        m.attach_telemetry(None);
+        assert_eq!(m.schema_version, BASE_SCHEMA_VERSION, "None is a no-op");
+        assert!(!m.to_json().contains("\"telemetry\""));
+        let empty = SketchSummary {
+            count: 0,
+            p50_ms: 0.0,
+            p90_ms: 0.0,
+            p99_ms: 0.0,
+            max_ms: 0.0,
+        };
+        m.attach_telemetry(Some(TelemetryReport {
+            window_secs: 0.25,
+            windows: Vec::new(),
+            queue_wait: empty.clone(),
+            job_latency: empty,
+            profile: ProfileReport {
+                plans: 1,
+                shard_probes: 0,
+                drain_scans: 0,
+                event_queue_ops: 0,
+                trace_recorded: 0,
+                trace_dropped: 0,
+            },
+            trace_enabled: false,
+            trace: Vec::new(),
+        }));
+        assert_eq!(m.schema_version, METRICS_SCHEMA_VERSION);
+        let json = m.to_json();
+        assert!(json.starts_with("{\n  \"schema_version\": 3,"), "{json}");
+        assert!(json.contains("\"telemetry\": {"));
+        assert!(json.contains("\"window_secs\": 0.250"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

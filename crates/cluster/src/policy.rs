@@ -123,6 +123,12 @@ impl core::fmt::Display for MigrationVictimPolicy {
 pub(crate) struct DispatchPlanner {
     placer: Placer,
     router: Option<ShardDirectory>,
+    /// Cumulative placement-scan probes across all plans: one per
+    /// per-shard placement attempt, and one per flat whole-fleet scan —
+    /// so a single shard covering the fleet costs exactly what flat
+    /// dispatch does. Telemetry reads deltas around a dispatch to cost
+    /// individual arrivals.
+    probes: u64,
 }
 
 impl DispatchPlanner {
@@ -136,7 +142,14 @@ impl DispatchPlanner {
         DispatchPlanner {
             placer: Placer::new(policy),
             router: sharding.map(|cfg| ShardDirectory::new(n_nodes, cfg)),
+            probes: 0,
         }
+    }
+
+    /// Cumulative shard probes spent planning so far (see the field
+    /// docs); monotonic, so callers cost a dispatch by delta.
+    pub(crate) fn probes(&self) -> u64 {
+        self.probes
     }
 
     /// The shard directory, when sharding is configured.
@@ -174,11 +187,13 @@ impl DispatchPlanner {
         tenant: &TenantSpec,
     ) -> Option<usize> {
         let Some(router) = self.router.as_mut() else {
+            self.probes += 1;
             return self.placer.place(state.nodes, tenant, state.admission);
         };
         let probes = router.route(state.nodes, state.admission, tenant);
         for &shard in &probes {
             let range = router.range(shard);
+            self.probes += 1;
             if let Some(rel) =
                 self.placer
                     .place(&state.nodes[range.clone()], tenant, state.admission)
@@ -198,6 +213,7 @@ impl DispatchPlanner {
                     continue;
                 }
                 let range = router.range(shard);
+                self.probes += 1;
                 if let Some(rel) =
                     self.placer
                         .place(&state.nodes[range.clone()], tenant, state.admission)

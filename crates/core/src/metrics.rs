@@ -40,6 +40,12 @@ pub struct RunMetrics {
     pub response_p95: SimDuration,
     /// Worst observed response time.
     pub response_max: SimDuration,
+    /// Every completed job's response time in nanoseconds, sorted
+    /// ascending — the raw distribution behind the percentile fields,
+    /// kept so downstream aggregators (the fleet's telemetry sketches)
+    /// can fold full distributions instead of re-deriving them from
+    /// three points.
+    pub response_samples_ns: Vec<u64>,
     /// Per-task breakdown, indexed by task position in the input set.
     pub per_task: Vec<TaskMetrics>,
 }
@@ -212,6 +218,7 @@ impl MetricsCollector {
             response_p50: pct(0.50),
             response_p95: pct(0.95),
             response_max: pct(1.0),
+            response_samples_ns: self.responses_ns,
             per_task,
         }
     }
@@ -290,6 +297,11 @@ mod tests {
         assert_eq!(m.response_p50, SimDuration::from_millis(51));
         assert_eq!(m.response_p95, SimDuration::from_millis(95));
         assert_eq!(m.response_max, SimDuration::from_millis(100));
+        assert_eq!(m.response_samples_ns.len(), 100);
+        assert!(
+            m.response_samples_ns.windows(2).all(|w| w[0] <= w[1]),
+            "the raw distribution is exported sorted"
+        );
     }
 
     #[test]

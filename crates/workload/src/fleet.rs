@@ -82,6 +82,11 @@ pub struct FleetScenario {
     /// exact release/departure boundaries, zero truncation, and the
     /// migration stall cost model. Off = the classic epoch path.
     pub event_driven: bool,
+    /// Telemetry window (`None` = telemetry off, the zero-cost
+    /// default). `Some(w)` enables windowed time-series and quantile
+    /// sketches at interval `w`, bumping the export to schema v3
+    /// without changing a single simulation decision.
+    pub telemetry: Option<SimDuration>,
 }
 
 impl FleetScenario {
@@ -104,6 +109,7 @@ impl FleetScenario {
             migration: None,
             admission_bound: None,
             event_driven: false,
+            telemetry: None,
         }
     }
 
@@ -371,6 +377,15 @@ impl FleetScenario {
         self
     }
 
+    /// Enables windowed telemetry (time-series + quantile sketches) at
+    /// the given window. The label is deliberately untouched: telemetry
+    /// observes a run, it does not define a new scenario.
+    #[must_use]
+    pub fn with_telemetry(mut self, window: SimDuration) -> Self {
+        self.telemetry = Some(window);
+        self
+    }
+
     /// Replaces the shard routing strategy (for routing comparisons;
     /// only meaningful with [`FleetScenario::sharding`] set) and
     /// relabels like [`FleetScenario::with_placement`].
@@ -470,6 +485,9 @@ impl FleetScenario {
         }
         if self.event_driven {
             cfg = cfg.with_event_driven();
+        }
+        if let Some(window) = self.telemetry {
+            cfg = cfg.with_telemetry_window(window);
         }
         Fleet::new(cfg).run_configured(self.trace(), self.sim)
     }
@@ -578,6 +596,23 @@ mod tests {
         let s = FleetScenario::homogeneous(2, 4, 1).with_placement(PlacementPolicy::BestFit);
         assert!(s.label.contains("best-fit"));
         assert_eq!(s.placement, PlacementPolicy::BestFit);
+    }
+
+    #[test]
+    fn telemetry_knob_attaches_a_v3_report_without_changing_decisions() {
+        let base = FleetScenario::overload_burst(2).run();
+        let telem = FleetScenario::overload_burst(2)
+            .with_telemetry(SimDuration::from_millis(250))
+            .run();
+        assert_eq!(base.schema_version, sgprs_cluster::BASE_SCHEMA_VERSION);
+        assert_eq!(telem.schema_version, sgprs_cluster::METRICS_SCHEMA_VERSION);
+        let report = telem.telemetry.as_ref().expect("telemetry attached");
+        assert!(!report.windows.is_empty());
+        // Observation never steers: every decision counter matches.
+        assert_eq!(base.arrivals, telem.arrivals);
+        assert_eq!(base.rejected, telem.rejected);
+        assert_eq!(base.degraded, telem.degraded);
+        assert_eq!(base.total_fps, telem.total_fps);
     }
 
     #[test]

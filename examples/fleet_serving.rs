@@ -1,9 +1,10 @@
 //! Fleet serving: a heterogeneous four-GPU fleet absorbing tenant churn
 //! behind admission control, printing fleet-level JSON metrics — then an
 //! overload burst showing deadline-aware queueing with fps re-pricing
-//! turning rejections into degraded-rate admissions, the event-vs-epoch
-//! contrast, and a 512-node metro-scale run routed by
-//! power-of-two-choices.
+//! turning rejections into degraded-rate admissions (with the telemetry
+//! layer armed: windowed time-series, queue-wait/latency quantile
+//! sketches, and a decision trace), the event-vs-epoch contrast, and a
+//! 512-node metro-scale run routed by power-of-two-choices.
 //!
 //! This is the deployment §I of the paper motivates — many tenants,
 //! shifting populations — scaled past a single device: each node runs its
@@ -12,7 +13,8 @@
 //!
 //! Run with: `cargo run --release --example fleet_serving`
 
-use sgprs_suite::cluster::QueuePolicy;
+use sgprs_suite::cluster::{Fleet, FleetConfig, QueuePolicy, TelemetryConfig};
+use sgprs_suite::rt::SimDuration;
 use sgprs_suite::workload::FleetScenario;
 
 fn main() {
@@ -32,7 +34,9 @@ fn main() {
     // The re-pricing contrast: the same overload-burst trace with and
     // without the degraded-fps ladder.
     let fifo = FleetScenario::overload_burst(6);
-    let smart = FleetScenario::overload_burst(6).with_queue(QueuePolicy::EarliestDeadline, true);
+    let smart = FleetScenario::overload_burst(6)
+        .with_queue(QueuePolicy::EarliestDeadline, true)
+        .with_telemetry(SimDuration::from_millis(250));
     eprintln!("running `{}` vs `{}` ...", fifo.label, smart.label);
     let fifo_m = fifo.run();
     let smart_m = smart.run();
@@ -51,6 +55,55 @@ fn main() {
     assert!(
         smart_m.rejection_rate <= fifo_m.rejection_rate,
         "re-pricing must never reject more than FIFO-reject"
+    );
+    // The smart run carried telemetry (its JSON above is schema v3):
+    // tail quantiles from the merged sketches plus the hot-path profile.
+    let report = smart_m.telemetry.as_ref().expect("telemetry was enabled");
+    eprintln!(
+        "telemetry: queue wait p50/p99 {:.1}/{:.1} ms, job latency p99 {:.1} ms, peak queue \
+         depth {}, {} plans costing {} placement probes, {} drain scans over {} windows",
+        report.queue_wait.p50_ms,
+        report.queue_wait.p99_ms,
+        report.job_latency.p99_ms,
+        report.peak_queue_depth(),
+        report.profile.plans,
+        report.profile.shard_probes,
+        report.profile.drain_scans,
+        report.windows.len()
+    );
+
+    // The decision trace: replay the same overload trace with the ring
+    // buffer armed and show the last few dispatch decisions verbatim.
+    let mut traced_fleet = Fleet::new(
+        FleetConfig::new(smart.nodes.clone())
+            .with_seed(smart.seed)
+            .with_queue_policy(QueuePolicy::EarliestDeadline)
+            .with_repricing()
+            .with_telemetry(
+                TelemetryConfig::windowed(SimDuration::from_millis(250)).with_trace(6),
+            ),
+    );
+    let traced_m = traced_fleet.run(smart.trace(), smart.sim);
+    let traced = traced_m.telemetry.as_ref().expect("telemetry was enabled");
+    eprintln!(
+        "decision trace (last {} of {} events, {} dropped from the ring):",
+        traced.trace.len(),
+        traced.profile.trace_recorded,
+        traced.profile.trace_dropped
+    );
+    for line in &traced.trace {
+        eprintln!("  {line}");
+    }
+    let hist = traced_fleet.plan_latency_histogram();
+    let planned: u64 = hist.iter().sum();
+    let modal_bin = hist
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, n)| n)
+        .map_or(0, |(i, _)| i);
+    eprintln!(
+        "plan wall-clock: {planned} plans timed, modal bucket < {} ns (log2 histogram)",
+        1u64 << (modal_bin + 1)
     );
 
     // The event-driven contrast: the same hot-naive-node scenario on the

@@ -33,7 +33,12 @@
 //!   discrete-event core (`Fleet::run_events`) — exact
 //!   release/departure boundaries, zero epoch truncation, and mid-epoch
 //!   migration paying an explicit state-transfer stall while re-pricing
-//!   switches stay free.
+//!   switches stay free. The opt-in `cluster::telemetry` layer observes
+//!   both engines without steering either: windowed time-series,
+//!   mergeable deterministic quantile sketches (p50/p90/p99 queue wait
+//!   and job latency in O(1) memory per node), an opt-in decision-trace
+//!   ring, and hot-path profile counters — exported as schema v3 when
+//!   enabled, byte-identical to the base schema v2 export when off.
 //! * [`workload`] — scenarios and sweeps reproducing the paper's figures
 //!   and the fleet-serving experiments beyond them.
 

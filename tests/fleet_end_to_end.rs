@@ -7,7 +7,8 @@
 
 use sgprs_suite::cluster::{
     AdmissionController, ChurnTrace, Fleet, FleetConfig, FleetMetricsBuilder, FleetNode,
-    ModelKind, NodeSpec, QueuePolicy, ShardedFleet, TenantSpec,
+    ModelKind, NodeSpec, QueuePolicy, ShardedFleet, TelemetryConfig, TenantSpec,
+    BASE_SCHEMA_VERSION, METRICS_SCHEMA_VERSION,
 };
 use sgprs_suite::core::MetricsCollector;
 use sgprs_suite::gpu_sim::GpuSpec;
@@ -519,4 +520,128 @@ fn bigger_nodes_carry_more_of_the_fleet_load() {
     let small =
         FleetNode::new(NodeSpec::sgprs("small", GpuSpec::synthetic(23)).with_contexts(2));
     assert!(ctl.budget(&big, None) > ctl.budget(&small, None));
+}
+
+/// The telemetry zero-cost contract: off by default (the export stays on
+/// the base schema, exactly as the golden snapshot pins it), and when
+/// enabled it observes without steering — stripping the telemetry block
+/// from an enabled run reproduces the disabled run byte for byte.
+#[test]
+fn telemetry_observes_without_steering_and_stays_off_by_default() {
+    let scenario = FleetScenario::heterogeneous_churn(4);
+    let base = scenario.run();
+    assert_eq!(base.schema_version, BASE_SCHEMA_VERSION);
+    assert!(base.telemetry.is_none(), "telemetry must be opt-in");
+    let mut telem = scenario
+        .clone()
+        .with_telemetry(SimDuration::from_millis(250))
+        .run();
+    assert_eq!(telem.schema_version, METRICS_SCHEMA_VERSION);
+    let report = telem.telemetry.take().expect("telemetry attached");
+    assert!(!report.windows.is_empty());
+    assert!(report.profile.plans > 0, "{:?}", report.profile);
+    telem.schema_version = BASE_SCHEMA_VERSION;
+    assert_eq!(
+        telem.to_json(),
+        base.to_json(),
+        "enabling telemetry must never change a simulation decision"
+    );
+}
+
+/// The 16-way determinism matrix again, telemetry armed: the v3 export
+/// (windows, merged sketch quantiles, profile counters) must stay
+/// byte-identical across workers {1, 2, 4, 8} × {sequential, parallel}
+/// × {flat, sharded} — per-node sketches always fold in node-index
+/// order, never in completion order.
+#[test]
+fn telemetry_matrix_is_byte_identical_across_workers_parallelism_and_dispatch() {
+    let scenario = FleetScenario::heterogeneous_churn(4);
+    let run = |parallel: bool, workers: usize, sharded: bool| {
+        let mut cfg = FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .with_workers(workers)
+            .with_telemetry(TelemetryConfig::windowed(SimDuration::from_millis(250)));
+        if !parallel {
+            cfg = cfg.sequential();
+        }
+        if sharded {
+            cfg = cfg.with_sharding(scenario.nodes.len());
+        }
+        Fleet::new(cfg).run(scenario.trace(), scenario.sim).to_json()
+    };
+    let reference = run(false, 1, false);
+    assert!(reference.contains("\"schema_version\": 3"));
+    assert!(reference.contains("\"telemetry\""));
+    for workers in [1usize, 2, 4, 8] {
+        for parallel in [false, true] {
+            for sharded in [false, true] {
+                assert_eq!(
+                    run(parallel, workers, sharded),
+                    reference,
+                    "workers={workers} parallel={parallel} sharded={sharded}: \
+                     telemetry must not leak execution-strategy noise"
+                );
+            }
+        }
+    }
+}
+
+/// The metro-scale acceptance criterion: with telemetry enabled, both
+/// engines emit the per-window time-series and p50/p90/p99 queue-wait
+/// quantiles from the merged sketches, byte-identical across worker
+/// counts {1, 2, 4, 8}.
+#[test]
+fn metro_telemetry_is_byte_identical_across_workers_in_both_engines() {
+    let scenario = FleetScenario::metro_scale(128, 4);
+    let cfg_for = |workers: usize| {
+        FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .with_workers(workers)
+            .with_p2c_sharding(8)
+            .with_queue_policy(QueuePolicy::EarliestDeadline)
+            .with_repricing()
+            .with_telemetry(TelemetryConfig::windowed(SimDuration::from_millis(250)))
+    };
+    let epoch_run =
+        |workers: usize| Fleet::new(cfg_for(workers)).run(scenario.trace(), scenario.sim);
+    let reference = epoch_run(1);
+    let report = reference.telemetry.as_ref().expect("telemetry attached");
+    assert_eq!(report.window_secs, 0.25);
+    assert!(report.windows.len() >= 16, "4 s / 250 ms windows");
+    assert!(
+        report.windows.iter().any(|w| w.arrivals > 0),
+        "metro churn lands in the series"
+    );
+    assert!(report.job_latency.count > 0, "completions fed the sketches");
+    assert!(
+        report.job_latency.p50_ms <= report.job_latency.p90_ms
+            && report.job_latency.p90_ms <= report.job_latency.p99_ms,
+        "{:?}",
+        report.job_latency
+    );
+    let reference_json = reference.to_json();
+    assert!(reference_json.contains("\"queue_wait_ms\""));
+    assert!(reference_json.contains("\"p99\""));
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            epoch_run(workers).to_json(),
+            reference_json,
+            "workers={workers}: merged metro telemetry must be byte-identical"
+        );
+    }
+    let event_run = |workers: usize| {
+        Fleet::new(cfg_for(workers))
+            .run_events(scenario.trace(), scenario.sim)
+            .to_json()
+    };
+    let event_reference = event_run(1);
+    assert!(event_reference.contains("\"telemetry\""));
+    assert!(event_reference.contains("\"event_queue_ops\""));
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            event_run(workers),
+            event_reference,
+            "workers={workers}: the event engine's telemetry is worker-inert"
+        );
+    }
 }

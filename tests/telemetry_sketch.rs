@@ -1,0 +1,130 @@
+//! Property tests for the telemetry quantile sketch: every reported
+//! quantile must stay within the documented rank-error bound of the
+//! exact sorted-sample quantile, and folding per-chunk sketches in a
+//! fixed order must be deterministic — the property the fleet's
+//! worker-count-independent telemetry rests on.
+
+use proptest::prelude::*;
+use sgprs_suite::cluster::{QuantileSketch, RANK_ERROR_NUMERATOR};
+
+/// Rank distance between the exact target rank `p * (n - 1)` and the
+/// interval of ranks occupied by `q` in the sorted sample (zero when the
+/// target rank falls inside `q`'s run of equal values).
+fn rank_error(sorted: &[u64], p: f64, q: u64) -> f64 {
+    let target = p * (sorted.len() as f64 - 1.0);
+    let lo = sorted.partition_point(|&x| x < q) as f64;
+    let hi = sorted.partition_point(|&x| x <= q) as f64;
+    if target < lo {
+        lo - target
+    } else if target > hi {
+        target - hi
+    } else {
+        0.0
+    }
+}
+
+/// The documented bound: `RANK_ERROR_NUMERATOR * n / capacity + 1`.
+fn bound(n: usize, capacity: usize) -> f64 {
+    RANK_ERROR_NUMERATOR as f64 * n as f64 / capacity as f64 + 1.0
+}
+
+const PROBES: [f64; 6] = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single sketch over a random sample answers every probed
+    /// quantile within the documented rank-error bound, and tracks
+    /// min/max/count exactly.
+    #[test]
+    fn quantiles_stay_within_the_documented_rank_error_bound(
+        mut xs in proptest::collection::vec(0u64..1_000_000_000, 1..600),
+        capacity in 8usize..128,
+    ) {
+        let mut sketch = QuantileSketch::new(capacity);
+        for &x in &xs {
+            sketch.add(x);
+        }
+        xs.sort_unstable();
+        prop_assert_eq!(sketch.count(), xs.len() as u64);
+        prop_assert_eq!(sketch.min(), xs[0]);
+        prop_assert_eq!(sketch.max(), *xs.last().expect("non-empty"));
+        let limit = bound(xs.len(), capacity);
+        for &p in &PROBES {
+            let q = sketch.quantile(p);
+            let err = rank_error(&xs, p, q);
+            prop_assert!(
+                err <= limit,
+                "p={p}: quantile {q} is {err} ranks off (bound {limit}, n={}, K={capacity})",
+                xs.len()
+            );
+        }
+    }
+
+    /// Chunking the sample (the per-node split), sketching each chunk,
+    /// and folding in chunk order — exactly what the fleet does per
+    /// worker-count — keeps the rank-error bound and reproduces
+    /// identical quantiles on every re-fold.
+    #[test]
+    fn merged_sketches_keep_the_bound_and_fold_deterministically(
+        mut xs in proptest::collection::vec(0u64..1_000_000_000, 8..600),
+        chunk_pow in 0u32..4,
+        capacity in 8usize..64,
+    ) {
+        // Worker counts {1, 2, 4, 8}: the node sets the engines fold over.
+        let chunks = 1usize << chunk_pow;
+        let chunk_size = xs.len().div_ceil(chunks);
+        let fold = || {
+            let mut merged = QuantileSketch::new(capacity);
+            for chunk in xs.chunks(chunk_size) {
+                let mut s = QuantileSketch::new(capacity);
+                for &x in chunk {
+                    s.add(x);
+                }
+                merged.merge(&s);
+            }
+            merged
+        };
+        let merged = fold();
+        let again = fold();
+        for &p in &PROBES {
+            prop_assert_eq!(
+                merged.quantile(p),
+                again.quantile(p),
+                "the same fold order must reproduce identical quantiles"
+            );
+        }
+        xs.sort_unstable();
+        prop_assert_eq!(merged.count(), xs.len() as u64);
+        prop_assert_eq!(merged.min(), xs[0]);
+        prop_assert_eq!(merged.max(), *xs.last().expect("non-empty"));
+        let limit = bound(xs.len(), capacity);
+        for &p in &PROBES {
+            let err = rank_error(&xs, p, merged.quantile(p));
+            prop_assert!(
+                err <= limit,
+                "p={p}: merged quantile is {err} ranks off (bound {limit}, n={}, K={capacity}, \
+                 chunks={chunks})",
+                xs.len()
+            );
+        }
+    }
+
+    /// Small samples are exact: while the sketch holds at most
+    /// `capacity / 2` points it never compresses, so every probed
+    /// quantile equals the nearest-rank sample value's run.
+    #[test]
+    fn small_samples_are_answered_exactly(
+        mut xs in proptest::collection::vec(0u64..1_000_000, 1..32),
+    ) {
+        let mut sketch = QuantileSketch::new(64);
+        for &x in &xs {
+            sketch.add(x);
+        }
+        xs.sort_unstable();
+        for &p in &PROBES {
+            let err = rank_error(&xs, p, sketch.quantile(p));
+            prop_assert!(err < 1.0, "p={p}: exact regime drifted by {err} ranks");
+        }
+    }
+}
