@@ -698,7 +698,7 @@ impl Fleet {
                 if *at >= epoch_end {
                     break;
                 }
-                let (at, event) = events.pop_front().expect("front exists");
+                let (at, event) = events.pop_front().expect("invariant: front exists, loop guard checked non-empty");
                 match event {
                     ChurnEvent::Arrival(tenant) => {
                         let phase = at.duration_since(epoch_start);
@@ -951,10 +951,10 @@ fn run_node_epochs(
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("node epoch workers never panic"))
+                .flat_map(|h| h.join().expect("invariant: node epoch workers never panic"))
                 .collect()
         })
-        .expect("epoch worker scope never fails")
+        .expect("invariant: epoch worker scope never fails")
     };
     results.sort_by_key(|&(idx, _)| idx);
     results

@@ -213,7 +213,7 @@ impl ShardDirectory {
                 },
             });
         }
-        self.summaries[shard].expect("summary just refreshed")
+        self.summaries[shard].expect("invariant: summary just refreshed above")
     }
 
     /// Whether the shard's best-case latency lower bound already rules
@@ -403,7 +403,7 @@ impl ShardedFleet {
         let router = self
             .inner
             .router()
-            .expect("ShardedFleet always configures a router");
+            .expect("invariant: ShardedFleet always configures a router");
         (0..router.shard_count()).map(|s| router.range(s)).collect()
     }
 

@@ -613,10 +613,12 @@ impl Telemetry {
         self.last_wall_hist = state.profile.plan_wall_hist;
         let window = state.series.window();
         let mut queue_wait = QuantileSketch::new(self.cfg.sketch_capacity);
+        // Window order — the deterministic fold.
         for w in state.series.windows() {
             queue_wait.merge(&w.wait);
         }
         let mut job_latency = QuantileSketch::new(self.cfg.sketch_capacity);
+        // Ascending node-index order — the deterministic fold.
         for s in &state.node_latency {
             job_latency.merge(s);
         }

@@ -1,0 +1,26 @@
+//! D001 bad fixture: hash-collection iteration in a deterministic
+//! module. Both the method-chain form and the for-loop form must fire.
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    counts: HashMap<String, u64>,
+    live: HashSet<String>,
+}
+
+impl Registry {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_, v) in &self.counts {
+            sum += v;
+        }
+        sum
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.live.iter().count()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.counts.keys().cloned().collect()
+    }
+}

@@ -1,0 +1,27 @@
+//! D001 good fixture: keyed hash lookups, ordered-map iteration, and a
+//! justified allow all stay silent.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Registry {
+    counts: HashMap<String, u64>,
+    ordered: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    pub fn get(&self, k: &str) -> u64 {
+        self.counts.get(k).copied().unwrap_or(0)
+    }
+
+    pub fn bump(&mut self, k: String) {
+        *self.counts.entry(k).or_default() += 1;
+    }
+
+    pub fn ordered_names(&self) -> Vec<String> {
+        self.ordered.keys().cloned().collect()
+    }
+
+    pub fn total(&self) -> u64 {
+        // sgprs-lint: allow(D001) -- commutative u64 sum, order-free
+        self.counts.values().sum()
+    }
+}

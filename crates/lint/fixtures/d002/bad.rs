@@ -1,0 +1,15 @@
+//! D002 bad fixture: wall-clock reads outside an allowlisted
+//! profiling surface.
+
+pub fn stamp_ns() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn wall_secs() -> u64 {
+    use std::time::SystemTime;
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,18 @@
+//! D002 good fixture: time comes from the simulated clock; the one
+//! wall-clock probe is justified as profiling-only.
+
+pub fn tick(sim_now_ns: u64, step_ns: u64) -> u64 {
+    sim_now_ns + step_ns
+}
+
+pub fn profile_probe_ns() -> u128 {
+    // sgprs-lint: allow(D002) -- profiling-only, kept out of the deterministic export
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn mentions_are_fine() {
+    // A comment naming Instant::now or SystemTime is not a read, and
+    // neither is a diagnostic string:
+    let _ = "SystemTime belongs in the profiling layer";
+}

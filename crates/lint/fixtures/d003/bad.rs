@@ -1,0 +1,11 @@
+//! D003 bad fixture: ambient randomness instead of an explicit seed.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn entropy_seeded() -> u64 {
+    let rng = rand::rngs::SmallRng::from_entropy();
+    rng.seed()
+}

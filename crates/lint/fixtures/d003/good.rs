@@ -1,0 +1,18 @@
+//! D003 good fixture: randomness flows from an explicit seed through a
+//! deterministic generator (splitmix64-style).
+
+pub struct Seeded(u64);
+
+impl Seeded {
+    pub fn new(seed: u64) -> Self {
+        Seeded(seed)
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+}

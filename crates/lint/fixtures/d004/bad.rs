@@ -1,0 +1,11 @@
+//! D004 bad fixture: a parallel fold with no fold-order marker comment
+//! anywhere near the call site.
+
+pub fn fold_all(shards: Vec<Vec<u64>>) -> u64 {
+    let parts = run_node_epochs(shards);
+    parts.into_iter().sum()
+}
+
+fn run_node_epochs(shards: Vec<Vec<u64>>) -> Vec<u64> {
+    shards.into_iter().map(|s| s.into_iter().sum()).collect()
+}

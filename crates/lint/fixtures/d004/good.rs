@@ -1,0 +1,12 @@
+//! D004 good fixture: the fold states its order where it happens.
+
+pub fn fold_all(shards: Vec<Vec<u64>>) -> u64 {
+    // Folded in node-index order, so the sum is byte-identical across
+    // worker counts.
+    let parts = run_node_epochs(shards);
+    parts.into_iter().sum()
+}
+
+fn run_node_epochs(shards: Vec<Vec<u64>>) -> Vec<u64> {
+    shards.into_iter().map(|s| s.into_iter().sum()).collect()
+}

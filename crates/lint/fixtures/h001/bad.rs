@@ -1,0 +1,10 @@
+//! H001 bad fixture: a bare `unwrap()` and an `expect` whose message
+//! does not name the invariant, both on a hot-path file.
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn tail(xs: &[u64]) -> u64 {
+    *xs.last().expect("non-empty")
+}

@@ -1,0 +1,14 @@
+//! H001 good fixture: handled fallbacks and invariant-naming expects
+//! are the two sanctioned shapes; `unwrap_or` variants never fire.
+
+pub fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn tail(xs: &[u64]) -> u64 {
+    *xs.last().expect("invariant: caller verified xs is non-empty")
+}
+
+pub fn head_or_default(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or_default()
+}

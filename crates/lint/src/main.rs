@@ -1,0 +1,106 @@
+//! The `sgprs-lint` CLI: the workspace determinism auditor's front
+//! door, wired into CI ahead of the test matrix.
+//!
+//! ```text
+//! sgprs-lint --workspace                audit the whole workspace from the cwd
+//! sgprs-lint --root <dir> --workspace   audit a workspace rooted elsewhere
+//! sgprs-lint <file.rs> ...              audit individual files
+//! sgprs-lint --fix-annotations ...      also print the allow line each finding needs (dry run)
+//! sgprs-lint --rules                    print the rule catalog
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O
+//! error.
+
+#![forbid(unsafe_code)]
+
+use sgprs_lint::{scan_source, scan_workspace, Config, Diagnostic, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut fix_annotations = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--fix-annotations" => fix_annotations = true,
+            "--rules" => {
+                for (id, summary) in RULES {
+                    println!("{id}  {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            _ if arg.starts_with('-') => return usage(&format!("unknown flag `{arg}`")),
+            _ => files.push(arg),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("nothing to audit: pass --workspace or file paths");
+    }
+
+    let cfg = Config::workspace_default();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if workspace {
+        match scan_workspace(&root, &cfg) {
+            Ok(found) => diags.extend(found),
+            Err(err) => {
+                eprintln!("sgprs-lint: workspace walk failed: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(source) => {
+                let rel = file.trim_start_matches("./").replace('\\', "/");
+                diags.extend(scan_source(&rel, &source, &cfg));
+            }
+            Err(err) => {
+                eprintln!("sgprs-lint: cannot read {file}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for d in &diags {
+        println!("{}", d.render());
+        if fix_annotations {
+            println!(
+                "  + insert above: // sgprs-lint: allow({}) -- <why this is deterministic/safe>",
+                d.rule
+            );
+        }
+    }
+    if diags.is_empty() {
+        println!("sgprs-lint: clean (0 diagnostics)");
+        ExitCode::SUCCESS
+    } else {
+        println!("sgprs-lint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("sgprs-lint: {problem}");
+    }
+    eprintln!(
+        "usage: sgprs-lint [--root <dir>] [--fix-annotations] (--workspace | <file.rs>...)\n\
+         \x20      sgprs-lint --rules"
+    );
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -141,6 +141,7 @@ fn main() {
     // the fleet has.
     let metro = FleetScenario::metro_scale(512, 4);
     eprintln!("running `{}` ...", metro.label);
+    // sgprs-lint: allow(D002) -- demo prints its own wall-clock runtime; never part of the deterministic output
     let started = std::time::Instant::now();
     let metro_m = metro.run();
     eprintln!(

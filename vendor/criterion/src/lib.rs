@@ -7,6 +7,8 @@
 //! timed batch, reporting the mean wall-clock time per iteration. That is
 //! enough to compare hot paths locally; it makes no statistical claims.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Number of warm-up iterations before timing starts.

@@ -6,6 +6,8 @@
 //! `Result`, and [`Scope::spawn`] whose closure receives the scope again
 //! (crossbeam's signature, so nested spawns keep working).
 
+#![forbid(unsafe_code)]
+
 use std::any::Any;
 
 /// Error type carried by a failed [`scope`] (never produced here: panics

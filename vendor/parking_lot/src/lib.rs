@@ -5,6 +5,8 @@
 //! the suite's usage, so `lock()` propagates the panic like the real
 //! `parking_lot` would surface the original one.
 
+#![forbid(unsafe_code)]
+
 /// A mutual-exclusion lock whose `lock` never returns a `Result`.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);

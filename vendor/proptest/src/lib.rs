@@ -11,6 +11,8 @@
 //! panics with the usual assertion message, which is enough to diagnose
 //! the invariant that broke.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

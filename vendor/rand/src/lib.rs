@@ -8,6 +8,8 @@
 //! modulo bias on astronomically large integer ranges) are simplified —
 //! acceptable for simulation jitter and workload generation.
 
+#![forbid(unsafe_code)]
+
 /// A source of randomness, mirroring `rand::Rng`.
 pub trait Rng {
     /// Returns the next 64 uniformly distributed bits.

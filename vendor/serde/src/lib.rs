@@ -4,4 +4,6 @@
 //! Serialize}` keeps compiling without network access. See
 //! `vendor/serde_derive` for the rationale.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};

@@ -6,6 +6,8 @@
 //! nothing preserves behaviour while keeping every `#[derive(Serialize,
 //! Deserialize)]` in the source compatible with the real crates.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]` and expands to nothing.
