@@ -118,13 +118,75 @@ impl ChurnTrace {
     /// Inter-arrival gaps are exponential with the configured mean
     /// (inverse-CDF of a uniform draw); lifetimes are uniform in the
     /// configured band; models are drawn from the weighted mix. The same
-    /// `(config, horizon, seed)` triple always yields the same trace.
+    /// `(config, horizon, seed)` triple always yields the same trace —
+    /// and the same event sequence as the lazy
+    /// [`crate::ArrivalStream::generate`], which pulls from the same
+    /// [`ChurnSampler`].
     ///
     /// # Panics
     ///
     /// Panics if the mix is empty or all weights are zero.
     #[must_use]
     pub fn generate(cfg: &ChurnConfig, horizon: SimDuration, seed: u64) -> Self {
+        let mut sampler = ChurnSampler::new(cfg, horizon, seed);
+        let mut trace = ChurnTrace::new();
+        while let Some(arrival) = sampler.next_arrival() {
+            // Arrival first: with a zero lifetime the two events share an
+            // instant, and the stable sort must keep arrival ahead.
+            let name = arrival.tenant.name.clone();
+            trace.push(arrival.at, ChurnEvent::Arrival(arrival.tenant));
+            if let Some(departure) = arrival.departure {
+                trace.push(departure, ChurnEvent::Departure(name));
+            }
+        }
+        trace
+    }
+}
+
+/// One sampled arrival: the tenant, its instant, and — when it falls
+/// inside the horizon — its departure instant.
+#[derive(Debug, Clone)]
+pub(crate) struct SampledArrival {
+    /// The arrival instant.
+    pub(crate) at: SimTime,
+    /// The arriving tenant.
+    pub(crate) tenant: TenantSpec,
+    /// The departure instant, `None` when the drawn lifetime extends
+    /// past the horizon (the tenant simply never departs).
+    pub(crate) departure: Option<SimTime>,
+}
+
+/// The seeded churn draw shared by the materialised
+/// [`ChurnTrace::generate`] and the lazy [`crate::ArrivalStream`]: one
+/// definition of the RNG draw order, so the two paths cannot drift.
+///
+/// Per arrival the draws are, in order: the uniform behind the
+/// exponential gap, the weighted model pick, and (when the lifetime band
+/// is non-degenerate) the lifetime. Lifetimes are uniform over the
+/// documented **inclusive** band `[min_lifetime, max_lifetime]` — the
+/// pre-stream generator drew `0..band` (exclusive), silently making
+/// `max_lifetime` unreachable; traces generated for the same seed before
+/// that fix differ in their departure instants (arrival instants and
+/// specs are unchanged: the draw count per arrival is identical).
+#[derive(Debug, Clone)]
+pub(crate) struct ChurnSampler {
+    cfg: ChurnConfig,
+    horizon: SimDuration,
+    rng: SmallRng,
+    total_weight: u32,
+    t: SimTime,
+    serial: usize,
+    done: bool,
+}
+
+impl ChurnSampler {
+    /// A sampler over `[0, horizon)` for `(cfg, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty, all weights are zero, or the mean
+    /// inter-arrival gap is zero.
+    pub(crate) fn new(cfg: &ChurnConfig, horizon: SimDuration, seed: u64) -> Self {
         assert!(!cfg.mix.is_empty(), "churn mix cannot be empty");
         assert!(
             !cfg.mean_interarrival.is_zero(),
@@ -132,57 +194,76 @@ impl ChurnTrace {
         );
         let total_weight: u32 = cfg.mix.iter().map(|&(_, w)| w).sum();
         assert!(total_weight > 0, "churn mix weights cannot all be zero");
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut trace = ChurnTrace::new();
-        let mut t = SimTime::ZERO;
-        let mut serial = 0usize;
-        loop {
-            // Exponential gap via inverse CDF; clamp the uniform away
-            // from 0 so ln stays finite.
-            let u: f64 = rng.random_range(1e-12..1.0);
-            let gap = cfg.mean_interarrival.mul_f64(-u.ln());
-            t += gap;
-            if t.duration_since(SimTime::ZERO) >= horizon {
-                break;
-            }
-            let mut pick = rng.random_range(0..u64::from(total_weight)) as u32;
-            let model = cfg
-                .mix
-                .iter()
-                .find(|&&(_, w)| {
-                    if pick < w {
-                        true
-                    } else {
-                        pick -= w;
-                        false
-                    }
-                })
-                .map_or(cfg.mix[0].0, |&(m, _)| m);
-            let mut tenant = TenantSpec::new(format!("{}-{serial}", model.name()), model, cfg.fps)
-                .with_stages(cfg.stages)
-                .with_fps_ladder(cfg.fps_ladder.clone());
-            tenant.max_wait = cfg.max_wait;
-            serial += 1;
-            let lifetime_band = cfg
-                .max_lifetime
-                .saturating_sub(cfg.min_lifetime)
-                .as_nanos();
-            let lifetime = cfg.min_lifetime
-                + SimDuration::from_nanos(if lifetime_band == 0 {
-                    0
-                } else {
-                    rng.random_range(0..lifetime_band)
-                });
-            let departure = t + lifetime;
-            // Arrival first: with a zero lifetime the two events share an
-            // instant, and the stable sort must keep arrival ahead.
-            let name = tenant.name.clone();
-            trace.push(t, ChurnEvent::Arrival(tenant));
-            if departure.duration_since(SimTime::ZERO) < horizon {
-                trace.push(departure, ChurnEvent::Departure(name));
-            }
+        ChurnSampler {
+            cfg: cfg.clone(),
+            horizon,
+            rng: SmallRng::seed_from_u64(seed),
+            total_weight,
+            t: SimTime::ZERO,
+            serial: 0,
+            done: false,
         }
-        trace
+    }
+
+    /// Draws the next arrival, or `None` once the gap carries past the
+    /// horizon (after which the sampler stays exhausted).
+    pub(crate) fn next_arrival(&mut self) -> Option<SampledArrival> {
+        if self.done {
+            return None;
+        }
+        // Exponential gap via inverse CDF; clamp the uniform away
+        // from 0 so ln stays finite.
+        let u: f64 = self.rng.random_range(1e-12..1.0);
+        let gap = self.cfg.mean_interarrival.mul_f64(-u.ln());
+        self.t += gap;
+        if self.t.duration_since(SimTime::ZERO) >= self.horizon {
+            self.done = true;
+            return None;
+        }
+        let mut pick = self.rng.random_range(0..u64::from(self.total_weight)) as u32;
+        let model = self
+            .cfg
+            .mix
+            .iter()
+            .find(|&&(_, w)| {
+                if pick < w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .map_or(self.cfg.mix[0].0, |&(m, _)| m);
+        let mut tenant = TenantSpec::new(
+            format!("{}-{}", model.name(), self.serial),
+            model,
+            self.cfg.fps,
+        )
+        .with_stages(self.cfg.stages)
+        .with_fps_ladder(self.cfg.fps_ladder.clone());
+        tenant.max_wait = self.cfg.max_wait;
+        self.serial += 1;
+        let lifetime_band = self
+            .cfg
+            .max_lifetime
+            .saturating_sub(self.cfg.min_lifetime)
+            .as_nanos();
+        // Inclusive draw over the documented [min, max] band; a
+        // degenerate band draws nothing, preserving the per-arrival
+        // draw count of earlier generators.
+        let lifetime = self.cfg.min_lifetime
+            + SimDuration::from_nanos(if lifetime_band == 0 {
+                0
+            } else {
+                self.rng.random_range(0..=lifetime_band)
+            });
+        let departure = self.t + lifetime;
+        let departs = departure.duration_since(SimTime::ZERO) < self.horizon;
+        Some(SampledArrival {
+            at: self.t,
+            tenant,
+            departure: departs.then_some(departure),
+        })
     }
 }
 
@@ -262,6 +343,46 @@ mod tests {
             }
         }
         assert!(heavy > light * 3, "skew holds: {heavy} vs {light}");
+    }
+
+    #[test]
+    fn lifetime_band_is_inclusive_of_both_endpoints() {
+        // A two-value band (min, min + 1 ns) makes both endpoints likely
+        // enough that a few hundred arrivals must hit each — pinning the
+        // inclusive-draw fix: the old exclusive `0..band` draw could
+        // never produce `max_lifetime`.
+        let min = SimDuration::from_secs(1);
+        let max = min + SimDuration::from_nanos(1);
+        let cfg = ChurnConfig {
+            mean_interarrival: SimDuration::from_millis(20),
+            min_lifetime: min,
+            max_lifetime: max,
+            ..ChurnConfig::default()
+        };
+        let horizon = SimDuration::from_secs(30);
+        let events = ChurnTrace::generate(&cfg, horizon, 11).into_sorted();
+        let mut arrivals: std::collections::HashMap<String, SimTime> =
+            std::collections::HashMap::new();
+        let (mut hit_min, mut hit_max) = (false, false);
+        for (t, e) in &events {
+            match e {
+                ChurnEvent::Arrival(spec) => {
+                    arrivals.insert(spec.name.clone(), *t);
+                }
+                ChurnEvent::Departure(name) => {
+                    let arrived = arrivals[name];
+                    let lifetime = t.duration_since(arrived);
+                    assert!(
+                        lifetime == min || lifetime == max,
+                        "lifetime {lifetime:?} outside the two-value band"
+                    );
+                    hit_min |= lifetime == min;
+                    hit_max |= lifetime == max;
+                }
+            }
+        }
+        assert!(hit_min, "min_lifetime endpoint reachable");
+        assert!(hit_max, "max_lifetime endpoint reachable");
     }
 
     #[test]

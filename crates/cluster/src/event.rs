@@ -62,6 +62,7 @@
 //! completion events are processed past the horizon) instead of being
 //! truncated; no new frame is released at or after the horizon.
 
+use crate::interner::TenantId;
 use crate::TenantSpec;
 use sgprs_rt::SimTime;
 use std::cmp::Ordering;
@@ -85,23 +86,24 @@ pub enum EventKind {
     /// The named tenant departs (from the churn trace), effective at the
     /// event's exact instant.
     Departure(String),
-    /// The named tenant releases a periodic frame on the event's node.
+    /// The tenant releases a periodic frame on the event's node.
     /// `gen` guards against stale schedules: a migration bumps the
-    /// tenant's generation, orphaning releases queued for the old node.
+    /// tenant's generation, orphaning releases queued for the old node —
+    /// and makes a recycled [`TenantId`]'s stale releases equally inert.
     JobRelease {
-        /// Tenant name.
-        tenant: String,
+        /// Interned tenant id (see [`crate::TenantInterner`]).
+        tenant: TenantId,
         /// The tenant-run generation this release was scheduled under.
         gen: u64,
     },
-    /// Job `job` of the named tenant finishes on the event's node.
+    /// Job `job` of the tenant finishes on the event's node.
     JobCompletion {
-        /// Tenant name.
-        tenant: String,
+        /// Interned tenant id.
+        tenant: TenantId,
         /// Per-tenant job serial.
         job: u64,
         /// The tenant-run incarnation that admitted the job (guards a
-        /// reused name's fresh run against a predecessor's stale
+        /// reused (recycled-id) fresh run against a predecessor's stale
         /// events; unlike `gen`, it survives migration — an in-flight
         /// job finishes on its source node even mid-transfer).
         inc: u64,
@@ -111,8 +113,8 @@ pub enum EventKind {
     /// Job `job`'s deadline elapses: if it is still in flight the miss is
     /// fed into the node's windowed DMR estimate (the migration trigger).
     DeadlineCheck {
-        /// Tenant name.
-        tenant: String,
+        /// Interned tenant id.
+        tenant: TenantId,
         /// Per-tenant job serial.
         job: u64,
         /// The admitting incarnation (see [`EventKind::JobCompletion`]).
@@ -214,6 +216,31 @@ impl EventQueue {
         popped
     }
 
+    /// The `(time, node, seq)` key of the earliest pending event, without
+    /// popping it — what the engine's lazy churn merge compares stream
+    /// events against.
+    pub(crate) fn peek_key(&self) -> Option<(SimTime, usize, u64)> {
+        self.heap.peek().map(|e| e.0.key())
+    }
+
+    /// The serial the next push will receive. Captured by the engine as
+    /// the *stream watermark*: churn events delivered lazily behave as if
+    /// they were all enqueued at that instant, so at an equal
+    /// `(time, NODE_FLEET)` a heap event beats the stream only when its
+    /// seq is below the watermark (it was scheduled before the trace
+    /// would have been).
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Accounts for one churn event delivered from the lazy stream
+    /// *around* the heap: it behaves exactly as a seeded push + pop
+    /// (two ops), keeping `event_queue_ops` byte-identical to the
+    /// materialised path.
+    pub(crate) fn note_stream_event(&mut self) {
+        self.ops += 2;
+    }
+
     /// Total pushes + successful pops so far — the heap-traffic figure
     /// telemetry surfaces as `event_queue_ops`. A pure function of the
     /// simulated schedule, so it is deterministic.
@@ -279,7 +306,7 @@ mod tests {
             at(1),
             3,
             EventKind::JobRelease {
-                tenant: "a".into(),
+                tenant: TenantId::from_raw(0),
                 gen: 0,
             },
         );

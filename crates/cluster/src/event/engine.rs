@@ -1,20 +1,36 @@
 //! The event-driven run loop behind [`crate::Fleet::run_events`].
 //!
-//! One [`super::EventQueue`] drives the whole fleet: trace churn, every
+//! One [`super::EventQueue`] drives the whole fleet: churn, every
 //! tenant's periodic releases, job completions, deadline checks, queue
 //! expiry, migration, and utilisation sampling are all events on the
 //! same monotonic clock. Scheduler state (the in-flight job of every
 //! tenant) lives in [`TenantRun`] entries that persist across the whole
 //! run — there are no epoch boundaries to truncate against, which is the
 //! point.
+//!
+//! # Streaming churn
+//!
+//! Churn is *not* materialised into the heap. The engine holds the
+//! [`ArrivalStream`] beside the event queue and merges lazily: at each
+//! step it compares the heap head's `(time, node, seq)` against the
+//! stream's next instant. Stream events are fleet-scope
+//! ([`NODE_FLEET`]), and on the materialised path they were all enqueued
+//! after the pre-trace seeds (resident releases, waiter expiries, the
+//! initial queue sweep) and before anything scheduled at runtime — so a
+//! heap event at an equal instant wins exactly when it is node-local or
+//! its seq lies below the *stream watermark* (the seq counter captured
+//! after seeding, before the first sample). This reproduces the
+//! materialised path's total order byte for byte while keeping heap
+//! population — and memory — O(active tenants), not O(trace).
 
 use super::exec::{FluidExec, MissWindow};
 use super::{EventKind, EventQueue, NODE_FLEET};
 use crate::fleet::Fleet;
+use crate::interner::TenantId;
 use crate::policy::{self, FleetState};
-use crate::{ChurnEvent, ChurnTrace, DispatchOutcome, FleetMetrics, FleetMetricsBuilder};
+use crate::{ArrivalStream, ChurnEvent, DispatchOutcome, FleetMetrics, FleetMetricsBuilder};
 use sgprs_rt::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Persistent per-tenant scheduler state: which node the tenant serves
 /// on, its release/job serials, and the job currently in flight.
@@ -22,12 +38,12 @@ use std::collections::{HashMap, HashSet};
 struct TenantRun {
     node: usize,
     /// Generation guard: release events scheduled under an older
-    /// generation (before a migration, or a previous incarnation of a
-    /// reused name) are stale and dropped on pop.
+    /// generation (before a migration, or a previous occupant of a
+    /// recycled id) are stale and dropped on pop.
     gen: u64,
     /// Incarnation guard for completion/deadline events: assigned once
     /// when the run starts and *not* bumped by migration, so a departed
-    /// predecessor's stale events cannot touch a reused name's fresh
+    /// predecessor's stale events cannot touch a recycled id's fresh
     /// run, while an in-flight job still resolves across a migration.
     inc: u64,
     /// Next job serial.
@@ -40,10 +56,10 @@ struct TenantRun {
     next_release: SimTime,
 }
 
-/// Runs `fleet` over `trace` in event-driven mode until `horizon`.
+/// Runs `fleet` over `arrivals` in event-driven mode until `horizon`.
 pub(crate) fn run_events(
     fleet: &mut Fleet,
-    trace: ChurnTrace,
+    arrivals: ArrivalStream,
     horizon: SimDuration,
 ) -> FleetMetrics {
     assert!(
@@ -60,9 +76,11 @@ pub(crate) fn run_events(
     let mut engine = Engine {
         fleet,
         events: EventQueue::new(),
+        arrivals,
+        stream_watermark: 0,
         exec: FluidExec::new(n_nodes, seed),
         windows: (0..n_nodes).map(|_| MissWindow::default()).collect(),
-        runs: HashMap::new(),
+        runs: Vec::new(),
         builder,
         pre_run_queued: HashSet::new(),
         migration_pending: vec![false; n_nodes],
@@ -70,7 +88,7 @@ pub(crate) fn run_events(
         next_gen: 0,
         end: SimTime::ZERO + horizon,
     };
-    engine.seed(trace, horizon);
+    engine.seed(horizon);
     engine.drive();
     engine.finish(horizon)
 }
@@ -78,14 +96,24 @@ pub(crate) fn run_events(
 struct Engine<'a> {
     fleet: &'a mut Fleet,
     events: EventQueue,
+    /// The lazy churn source, merged against the heap on pop (see the
+    /// module docs) instead of being materialised into it.
+    arrivals: ArrivalStream,
+    /// Heap seqs below this belong to pre-churn seeds and outrank stream
+    /// events at an equal fleet-scope instant; seqs at or above it were
+    /// scheduled at runtime and rank after.
+    stream_watermark: u64,
     exec: FluidExec,
     windows: Vec<MissWindow>,
-    runs: HashMap<String, TenantRun>,
+    /// Per-tenant run state, indexed by [`TenantId`] (`None` = departed
+    /// or never started). Capacity tracks the interner's: peak active
+    /// tenants, not trace length.
+    runs: Vec<Option<TenantRun>>,
     builder: FleetMetricsBuilder,
     /// Tenants already waiting when the run started: their later
     /// admission must not offset this run's deferral accounting (same
-    /// contract as the epoch path).
-    pre_run_queued: HashSet<String>,
+    /// contract as the epoch path). Lookup/remove only, never iterated.
+    pre_run_queued: HashSet<TenantId>,
     /// One pending `Migrate` event per node at a time.
     migration_pending: Vec<bool>,
     /// Jobs admitted but not yet completed — asserted zero at the end:
@@ -97,32 +125,30 @@ struct Engine<'a> {
 
 impl Engine<'_> {
     /// Seeds the initial event population: releases for tenants already
-    /// resident, expiry deadlines for tenants already waiting, the churn
-    /// trace, and the first utilisation sample.
-    fn seed(&mut self, trace: ChurnTrace, horizon: SimDuration) {
+    /// resident, expiry deadlines for tenants already waiting, and the
+    /// first utilisation sample. Churn stays in [`Engine::arrivals`];
+    /// the watermark captured between the seeds and the first sample
+    /// anchors where its events slot into the total order.
+    fn seed(&mut self, horizon: SimDuration) {
         // Every run is its own timeline starting at zero, mirroring
         // `Fleet::run`: carried-over waiters are re-stamped at the start.
         self.fleet.now = SimTime::ZERO;
         self.fleet.queue.rebase(SimTime::ZERO);
-        self.pre_run_queued = self.fleet.queue.iter().map(|t| t.name.clone()).collect();
+        self.pre_run_queued = self.fleet.queue.ids().collect();
         if horizon.is_zero() {
             return;
         }
         for idx in 0..self.fleet.nodes.len() {
-            let names: Vec<String> = self.fleet.nodes[idx]
-                .tenants
-                .iter()
-                .map(|t| t.name.clone())
-                .collect();
-            for name in names {
-                self.start_run(name, idx, SimTime::ZERO);
+            let ids: Vec<TenantId> = self.fleet.node_ids[idx].clone();
+            for id in ids {
+                self.start_run(id, idx, SimTime::ZERO);
             }
         }
         let waiting_patience: Vec<SimDuration> = self
             .fleet
             .queue
-            .iter()
-            .filter_map(|t| t.max_wait)
+            .entries()
+            .filter_map(|e| e.tenant.max_wait)
             .collect();
         for patience in waiting_patience {
             self.schedule_expiry(SimTime::ZERO, patience);
@@ -134,47 +160,71 @@ impl Engine<'_> {
         if self.fleet.cfg.queue.demand_aware_expiry && self.fleet.queue.len() > 0 {
             self.events.push(SimTime::ZERO, NODE_FLEET, EventKind::QueueExpire);
         }
-        for (at, event) in trace.into_sorted() {
-            if at >= self.end {
-                continue;
-            }
-            match event {
-                ChurnEvent::Arrival(t) => {
-                    self.events.push(at, NODE_FLEET, EventKind::Arrival(Box::new(t)));
-                }
-                ChurnEvent::Departure(name) => {
-                    self.events.push(at, NODE_FLEET, EventKind::Departure(name));
-                }
-            }
-        }
+        // The materialised path enqueued the whole trace exactly here;
+        // lazily delivered stream events inherit this slot in the total
+        // order via the watermark.
+        self.stream_watermark = self.events.next_seq();
         let first_sample = (SimTime::ZERO + self.fleet.cfg.epoch).min(self.end);
         self.events.push(first_sample, NODE_FLEET, EventKind::Sample);
     }
 
-    /// Pops events until none remain. Completions and deadline checks of
-    /// jobs released before the horizon are processed even past it, so
-    /// in-flight work drains instead of truncating.
+    /// Merges the heap and the churn stream until both run dry.
+    /// Completions and deadline checks of jobs released before the
+    /// horizon are processed even past it, so in-flight work drains
+    /// instead of truncating.
     fn drive(&mut self) {
-        while let Some(ev) = self.events.pop() {
-            self.fleet.now = ev.time;
-            match ev.kind {
-                EventKind::Arrival(tenant) => self.on_arrival(ev.time, *tenant),
-                EventKind::Departure(name) => self.on_departure(ev.time, &name),
-                EventKind::JobRelease { tenant, gen } => {
-                    self.on_release(ev.time, ev.node, tenant, gen);
+        loop {
+            // Stream events at/past the horizon were dropped at seed time
+            // on the materialised path; the stream is time-ordered, so
+            // once its head crosses the horizon the whole tail has.
+            let stream_t = self.arrivals.peek_time().filter(|&t| t < self.end);
+            let heap_wins = match (self.events.peek_key(), stream_t) {
+                (Some((ht, hn, hs)), Some(st)) => {
+                    // At an equal instant, node-local events precede
+                    // fleet-scope ones; among fleet-scope, only pre-seed
+                    // events (seq below the watermark) precede churn.
+                    ht < st || (ht == st && (hn != NODE_FLEET || hs < self.stream_watermark))
                 }
-                EventKind::JobCompletion {
-                    tenant,
-                    job,
-                    inc,
-                    deadline,
-                } => self.on_completion(ev.time, ev.node, &tenant, job, inc, deadline),
-                EventKind::DeadlineCheck { tenant, job, inc } => {
-                    self.on_deadline_check(ev.time, ev.node, &tenant, job, inc);
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if heap_wins {
+                let ev = self
+                    .events
+                    .pop()
+                    .expect("invariant: a peeked heap event exists");
+                self.fleet.now = ev.time;
+                match ev.kind {
+                    EventKind::Arrival(tenant) => self.on_arrival(ev.time, *tenant),
+                    EventKind::Departure(name) => self.on_departure(ev.time, &name),
+                    EventKind::JobRelease { tenant, gen } => {
+                        self.on_release(ev.time, ev.node, tenant, gen);
+                    }
+                    EventKind::JobCompletion {
+                        tenant,
+                        job,
+                        inc,
+                        deadline,
+                    } => self.on_completion(ev.time, ev.node, tenant, job, inc, deadline),
+                    EventKind::DeadlineCheck { tenant, job, inc } => {
+                        self.on_deadline_check(ev.time, ev.node, tenant, job, inc);
+                    }
+                    EventKind::Migrate => self.on_migrate(ev.time, ev.node),
+                    EventKind::QueueExpire => self.on_queue_expire(ev.time),
+                    EventKind::Sample => self.on_sample(ev.time),
                 }
-                EventKind::Migrate => self.on_migrate(ev.time, ev.node),
-                EventKind::QueueExpire => self.on_queue_expire(ev.time),
-                EventKind::Sample => self.on_sample(ev.time),
+            } else {
+                let (t, event) = self
+                    .arrivals
+                    .next_event()
+                    .expect("invariant: a peeked stream event exists");
+                self.events.note_stream_event();
+                self.fleet.now = t;
+                match event {
+                    ChurnEvent::Arrival(tenant) => self.on_arrival(t, tenant),
+                    ChurnEvent::Departure(name) => self.on_departure(t, &name),
+                }
             }
         }
     }
@@ -195,30 +245,33 @@ impl Engine<'_> {
         metrics
     }
 
-    /// Registers a (fresh-generation) run for `name` on node `idx` and
-    /// schedules its first release at `t`.
-    fn start_run(&mut self, name: String, idx: usize, t: SimTime) {
+    fn run_of(&self, id: TenantId) -> Option<&TenantRun> {
+        self.runs.get(id.index()).and_then(Option::as_ref)
+    }
+
+    fn run_mut(&mut self, id: TenantId) -> Option<&mut TenantRun> {
+        self.runs.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
+    /// Registers a (fresh-generation) run for the tenant on node `idx`
+    /// and schedules its first release at `t`.
+    fn start_run(&mut self, id: TenantId, idx: usize, t: SimTime) {
         let gen = self.next_gen;
         self.next_gen += 1;
-        self.events.push(
-            t,
-            idx,
-            EventKind::JobRelease {
-                tenant: name.clone(),
-                gen,
-            },
-        );
-        self.runs.insert(
-            name,
-            TenantRun {
-                node: idx,
-                gen,
-                inc: gen,
-                job_seq: 0,
-                in_flight: None,
-                next_release: t,
-            },
-        );
+        self.events
+            .push(t, idx, EventKind::JobRelease { tenant: id, gen });
+        let slot = id.index();
+        if slot >= self.runs.len() {
+            self.runs.resize_with(slot + 1, || None);
+        }
+        self.runs[slot] = Some(TenantRun {
+            node: idx,
+            gen,
+            inc: gen,
+            job_seq: 0,
+            in_flight: None,
+            next_release: t,
+        });
     }
 
     /// Schedules a queue-expiry sweep one nanosecond past the waiter's
@@ -232,18 +285,20 @@ impl Engine<'_> {
     }
 
     fn on_arrival(&mut self, t: SimTime, tenant: crate::TenantSpec) {
-        let name = tenant.name.clone();
         let patience = tenant.max_wait;
         // The shared kernel + accounting path (identical to the epoch
         // engine); only the event bookkeeping below is mode-specific.
-        match self.fleet.dispatch_accounted(tenant, &mut self.builder) {
+        let (outcome, id) = self.fleet.dispatch_accounted(tenant, &mut self.builder);
+        match outcome {
             DispatchOutcome::Placed(idx) => {
                 self.exec.invalidate();
-                self.start_run(name, idx, t);
+                let id = id.expect("invariant: placed arrivals are interned");
+                self.start_run(id, idx, t);
             }
             DispatchOutcome::PlacedDegraded { node, .. } => {
                 self.exec.invalidate();
-                self.start_run(name, node, t);
+                let id = id.expect("invariant: placed arrivals are interned");
+                self.start_run(id, node, t);
             }
             DispatchOutcome::Queued => {
                 if let Some(patience) = patience {
@@ -262,16 +317,23 @@ impl Engine<'_> {
     }
 
     fn on_departure(&mut self, t: SimTime, name: &str) {
-        let was_resident = self.fleet.locate(name).is_some();
-        // Shared removal accounting (departure count + pre-run-name
-        // hygiene) — identical to the epoch path by construction.
+        // Churn speaks names; the fleet boundary resolves to the interned
+        // id once, here.
+        let Some(id) = self.fleet.tenant_id(name) else {
+            return;
+        };
+        let was_resident = self.fleet.resident_node_of(id).is_some();
+        // Shared removal accounting (departure count + pre-run hygiene)
+        // — identical to the epoch path by construction.
         if self
             .fleet
-            .remove_accounted(name, &mut self.builder, &mut self.pre_run_queued)
+            .remove_accounted(id, &mut self.builder, &mut self.pre_run_queued)
         {
             // Future releases die with the run entry; a job already in
             // flight still completes (its event carries all it needs).
-            self.runs.remove(name);
+            if let Some(slot) = self.runs.get_mut(id.index()) {
+                *slot = None;
+            }
             if was_resident {
                 self.exec.invalidate();
                 self.drain_and_upgrade(t);
@@ -279,29 +341,33 @@ impl Engine<'_> {
         }
     }
 
-    fn on_release(&mut self, t: SimTime, idx: usize, name: String, gen: u64) {
+    fn on_release(&mut self, t: SimTime, idx: usize, id: TenantId, gen: u64) {
         debug_assert!(t < self.end, "releases are never scheduled past the horizon");
-        let (busy, job, inc) = match self.runs.get(&name) {
+        let (busy, job, inc) = match self.run_of(id) {
             Some(run) if run.gen == gen => (run.in_flight.is_some(), run.job_seq, run.inc),
-            // Departed, or a stale schedule from before a migration.
+            // Departed, or a stale schedule from before a migration (or
+            // from a recycled id's previous occupant).
             _ => return,
         };
         // Copy the few price-dependent fields instead of cloning the
-        // whole spec: this is the engine's hottest path, and a clone
-        // would heap-allocate the name and ladder on every release.
-        let Some((model, stages, fps)) = self.fleet.nodes[idx]
-            .tenants
-            .iter()
-            .find(|t| t.name == name)
-            .map(|t| (t.model, t.stages, t.fps))
+        // whole spec: this is the engine's hottest path. The id resolves
+        // to the node slot by integer compare, no string hashing.
+        let Some((model, stages, fps)) = self
+            .fleet
+            .node_slot(idx, id)
+            .map(|pos| {
+                let t = &self.fleet.nodes[idx].tenants[pos];
+                (t.model, t.stages, t.fps)
+            })
         else {
             return;
         };
         self.builder.record_released(idx);
         let period = SimDuration::from_secs_f64(1.0 / fps);
         let next = t + period;
-        if let Some(run) = self.runs.get_mut(&name) {
-            run.next_release = if next < self.end { next } else { SimTime::MAX };
+        let end = self.end;
+        if let Some(run) = self.run_mut(id) {
+            run.next_release = if next < end { next } else { SimTime::MAX };
         }
         let migration_on = self.fleet.cfg.migration.enabled;
         if busy {
@@ -316,16 +382,22 @@ impl Engine<'_> {
                 self.windows[idx].push(t, true, span);
             }
         } else {
-            let service = self.exec.service_time(
-                self.fleet.nodes(),
-                self.fleet.admission(),
-                idx,
-                model,
-                stages,
-                fps,
-                &name,
-                job,
-            );
+            // The execution model's jitter hashes the tenant *name*, so
+            // the render-edge resolution happens here too — a borrow of
+            // the interner, not a clone.
+            let service = {
+                let name = self.fleet.interner.name(id);
+                self.exec.service_time(
+                    &self.fleet.nodes,
+                    &self.fleet.admission,
+                    idx,
+                    model,
+                    stages,
+                    fps,
+                    name,
+                    job,
+                )
+            };
             let finish = t + service;
             // The fluid service time *is* the job's response time (the
             // job is admitted at release), so it feeds the latency
@@ -336,7 +408,7 @@ impl Engine<'_> {
                 finish,
                 idx,
                 EventKind::JobCompletion {
-                    tenant: name.clone(),
+                    tenant: id,
                     job,
                     inc,
                     deadline: next,
@@ -350,20 +422,17 @@ impl Engine<'_> {
                     next,
                     idx,
                     EventKind::DeadlineCheck {
-                        tenant: name.clone(),
+                        tenant: id,
                         job,
                         inc,
                     },
                 );
             }
-            if let Some(run) = self.runs.get_mut(&name) {
+            if let Some(run) = self.run_mut(id) {
                 run.in_flight = Some((job, finish));
                 run.job_seq += 1;
             }
         }
-        // Schedule the next release last, moving the owned name into the
-        // event instead of re-allocating it (the hot-path economy the
-        // field-copy above started).
         let migration_check = migration_on
             && !self.migration_pending[idx]
             && self.fleet.nodes[idx].tenants.len() >= 2;
@@ -377,7 +446,7 @@ impl Engine<'_> {
         }
         if next < self.end {
             self.events
-                .push(next, idx, EventKind::JobRelease { tenant: name, gen });
+                .push(next, idx, EventKind::JobRelease { tenant: id, gen });
         }
     }
 
@@ -385,17 +454,17 @@ impl Engine<'_> {
         &mut self,
         t: SimTime,
         idx: usize,
-        name: &str,
+        id: TenantId,
         job: u64,
         inc: u64,
         deadline: SimTime,
     ) {
         // The job genuinely ran and finishes on its node regardless of
-        // what happened to the tenant since (departure, migration, name
-        // reuse) — only the busy flag is incarnation-guarded.
+        // what happened to the tenant since (departure, migration, id
+        // recycling) — only the busy flag is incarnation-guarded.
         self.in_flight -= 1;
         self.builder.record_completed(idx, t > deadline);
-        if let Some(run) = self.runs.get_mut(name) {
+        if let Some(run) = self.run_mut(id) {
             if run.inc == inc {
                 // Skip-if-busy invariant: a live incarnation has exactly
                 // one job in flight, so its completions arrive strictly
@@ -405,33 +474,34 @@ impl Engine<'_> {
                 debug_assert_eq!(
                     run.in_flight.map(|(j, _)| j),
                     Some(job),
-                    "overlapping jobs for live tenant {name}"
+                    "overlapping jobs for live tenant {id}"
                 );
                 run.in_flight = None;
             }
         }
     }
 
-    fn on_deadline_check(&mut self, t: SimTime, idx: usize, name: &str, job: u64, inc: u64) {
+    fn on_deadline_check(&mut self, t: SimTime, idx: usize, id: TenantId, job: u64, inc: u64) {
         // Exactly one estimator sample per admitted job, taken at its
         // deadline with no look-ahead: missed iff it is still in flight.
-        // A stale check (the tenant departed, or its name was reused by
+        // A stale check (the tenant departed, or its id was recycled by
         // a fresh incarnation) feeds nothing — and with migration off
         // the estimator has no consumer, so nothing is retained at all.
         if !self.fleet.cfg.migration.enabled {
             return;
         }
-        let Some(run) = self.runs.get(name) else {
+        let Some(run) = self.run_of(id) else {
             return;
         };
         if run.inc != inc || run.node != idx {
-            // Departed, reused, or migrated away: a shed victim's last
+            // Departed, recycled, or migrated away: a shed victim's last
             // in-flight job must not bill its miss to the source node's
             // freshly cleared post-shed estimate.
             return;
         }
         let span = self.fleet.cfg.epoch;
-        self.windows[idx].push(t, run.in_flight.map(|(j, _)| j) == Some(job), span);
+        let missed = run.in_flight.map(|(j, _)| j) == Some(job);
+        self.windows[idx].push(t, missed, span);
     }
 
     fn on_migrate(&mut self, t: SimTime, idx: usize) {
@@ -456,7 +526,7 @@ impl Engine<'_> {
         ) else {
             return;
         };
-        let victim = self.fleet.nodes[idx].tenants.remove(slot);
+        let (id, victim) = self.fleet.detach_resident(idx, slot);
         let dmrs: Vec<f64> = (0..self.fleet.nodes.len())
             .map(|j| self.windows[j].dmr(t, span))
             .collect();
@@ -471,8 +541,8 @@ impl Engine<'_> {
         );
         match dest {
             Some(j) => {
-                let name = victim.name.clone();
-                self.fleet.nodes[j].tenants.push(victim);
+                let traced = self.fleet.telemetry.enabled().then(|| victim.name.clone());
+                self.fleet.attach_resident(j, id, victim);
                 self.fleet.planner.invalidate_node(idx);
                 self.fleet.planner.invalidate_node(j);
                 self.fleet.capacity_released = true;
@@ -481,12 +551,14 @@ impl Engine<'_> {
                 // transfer, stalling the migrant for the reconfiguration
                 // window. Re-pricing partition switches never pay this.
                 self.builder.record_migration_stall(cost);
-                self.fleet
-                    .telemetry
-                    .record_migration(t, &name, idx, Some(j), cost);
+                if let Some(name) = traced {
+                    self.fleet
+                        .telemetry
+                        .record_migration(t, &name, idx, Some(j), cost);
+                }
                 let gen = self.next_gen;
                 self.next_gen += 1;
-                let resume = if let Some(run) = self.runs.get_mut(&name) {
+                let resume = if let Some(run) = self.run_mut(id) {
                     run.node = j;
                     run.gen = gen;
                     // The state transfer cannot finish before the
@@ -510,11 +582,8 @@ impl Engine<'_> {
                     SimTime::MAX
                 };
                 if resume < self.end {
-                    self.events.push(
-                        resume,
-                        j,
-                        EventKind::JobRelease { tenant: name, gen },
-                    );
+                    self.events
+                        .push(resume, j, EventKind::JobRelease { tenant: id, gen });
                 }
                 self.windows[idx].clear();
                 self.exec.invalidate();
@@ -522,12 +591,15 @@ impl Engine<'_> {
                 self.drain_and_upgrade(t);
             }
             None => {
-                self.fleet
-                    .telemetry
-                    .record_migration(t, &victim.name, idx, None, SimDuration::ZERO);
+                if self.fleet.telemetry.enabled() {
+                    let name = victim.name.clone();
+                    self.fleet
+                        .telemetry
+                        .record_migration(t, &name, idx, None, SimDuration::ZERO);
+                }
                 // Nobody can take it; restore its slot and wait for
                 // fresh evidence before trying again (epoch-path pacing).
-                self.fleet.nodes[idx].tenants.insert(slot, victim);
+                self.fleet.restore_resident(idx, slot, id, victim);
                 self.windows[idx].clear();
             }
         }
@@ -568,8 +640,8 @@ impl Engine<'_> {
             .fleet
             .drain_and_upgrade_accounted(&mut self.builder, &mut self.pre_run_queued);
         for adm in admissions {
-            if let Some((idx, _)) = self.fleet.locate(&adm.name) {
-                self.start_run(adm.name, idx, t);
+            if let Some(idx) = self.fleet.resident_node_of(adm.id) {
+                self.start_run(adm.id, idx, t);
             }
         }
         self.exec.invalidate();

@@ -13,6 +13,22 @@
 //! shared accounting helpers that fold outcomes into
 //! [`FleetMetricsBuilder`] so the two engines cannot drift.
 //!
+//! # Interned tenant ids
+//!
+//! Tenant names cross the fleet boundary exactly once: `dispatch`
+//! interns each arriving name into a dense [`TenantId`]
+//! (first-appearance order, slots recycled LIFO on departure — see
+//! [`crate::interner`]), and every per-tenant structure from there on is
+//! id-indexed: resident location (`resident_node` + per-node id lists),
+//! queue entries, the degraded-rate table, pending release phases, and
+//! the event engine's payloads. Names are resolved back only at the
+//! render edge (JSON, telemetry, the execution model's name-keyed
+//! jitter). Interning is a pure function of the arrival sequence, so it
+//! is deterministic across engines and worker counts; recycling bounds
+//! the id space — and every id-indexed `Vec` — by the *peak
+//! concurrently-active* population, which is what lets a run stream
+//! millions of tenants in O(active) memory.
+//!
 //! Simulated time is divided into *epochs*. At each epoch boundary the
 //! dispatcher applies churn events (arrivals are planned through the
 //! policy kernel; departures free capacity, expire overdue waiters, and
@@ -54,17 +70,18 @@
 //! ([`crate::FleetConfig::sequential`] is the escape hatch): parallelism
 //! changes wall-clock time, never results.
 
+use crate::interner::{TenantId, TenantInterner};
 use crate::policy::{self, DispatchPlanner, FleetState, PricedPlan, QueueAdmission};
 use crate::queue::DispatchQueue;
 use crate::shard::ShardDirectory;
 use crate::telemetry::{Telemetry, PLAN_LATENCY_BINS};
 use crate::{
-    AdmissionController, ChurnEvent, ChurnTrace, FleetConfig, FleetMetrics, FleetMetricsBuilder,
-    FleetNode, TenantSpec,
+    AdmissionController, ArrivalStream, ChurnEvent, FleetConfig, FleetMetrics,
+    FleetMetricsBuilder, FleetNode, TenantSpec,
 };
 use sgprs_core::{CompiledTask, RunMetrics};
 use sgprs_rt::{SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 /// Where a dispatched tenant ended up.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,11 +106,43 @@ pub enum DispatchOutcome {
     /// the FIFO queue's head forever).
     Infeasible,
     /// A tenant with the same name is already active (resident or
-    /// queued). Names key removal, migration, and release phases, so the
-    /// dispatcher enforces the uniqueness contract documented on
+    /// queued). Names key the interner's active set, so the dispatcher
+    /// enforces the uniqueness contract documented on
     /// [`TenantSpec::name`] instead of letting a later `remove` delete
     /// the wrong instance and leave a resident ghost.
     Duplicate,
+}
+
+/// Counters from a dispatch-only replay ([`Fleet::replay_dispatch`]):
+/// the arrival-path outcomes plus the interner's memory evidence.
+#[derive(Debug, Default, Clone)]
+pub struct DispatchReplay {
+    /// Arrivals offered to the dispatcher.
+    pub arrivals: u64,
+    /// Arrivals placed (at full or degraded rate).
+    pub placed: u64,
+    /// Placements that landed at a degraded ladder step.
+    pub degraded: u64,
+    /// Arrivals deferred to the wait queue.
+    pub queued: u64,
+    /// Arrivals dropped as latency-infeasible everywhere.
+    pub infeasible: u64,
+    /// Arrivals rejected as duplicate active names.
+    pub duplicates: u64,
+    /// Departures that removed an active tenant.
+    pub departures: u64,
+    /// Waiters expired out of the queue (patience elapsed).
+    pub expired: u64,
+    /// Waiters admitted from the queue by a drain pass.
+    pub admitted_after_wait: u64,
+    /// High-water mark of concurrently active tenants.
+    pub peak_active: usize,
+    /// Tenant-id slots ever allocated — with LIFO recycling this equals
+    /// `peak_active`, **not** the number of tenants streamed: the
+    /// trace-length-independent memory bound.
+    pub id_capacity: usize,
+    /// Tenants still active when the replay ended.
+    pub final_active: usize,
 }
 
 /// A simulated multi-GPU fleet with admission control, load balancing,
@@ -107,14 +156,20 @@ pub struct Fleet {
     /// directory (see [`crate::policy`]).
     pub(crate) planner: DispatchPlanner,
     pub(crate) queue: DispatchQueue,
+    /// Tenant-name ⇄ id table; its active-name map doubles as the
+    /// duplicate gate (keyed lookup only, never iterated).
+    pub(crate) interner: TenantInterner,
     /// Sub-epoch release phase of tenants that arrived mid-epoch,
-    /// consumed by the next `run_epoch`.
-    pending_phase: HashMap<String, SimDuration>,
+    /// id-indexed, consumed by the next `run_epoch`.
+    pending_phase: Vec<Option<SimDuration>>,
     /// Compiled-task cache keyed by (model, stages, period ns, node).
     compiled: HashMap<(crate::ModelKind, usize, u64, usize), CompiledTask>,
-    /// Names of active tenants (resident or queued), enforcing the
-    /// uniqueness contract of [`TenantSpec::name`].
-    active: HashSet<String>,
+    /// Node index of each resident, id-indexed (`None` = queued or
+    /// free slot).
+    resident_node: Vec<Option<usize>>,
+    /// Per-node resident ids, parallel to each node's `tenants` Vec, so
+    /// slot resolution is an integer scan instead of a string compare.
+    pub(crate) node_ids: Vec<Vec<TenantId>>,
     /// The dispatcher's clock: advanced by `run`/`run_events`, stamps
     /// queue entries so waits and queue deadlines are measurable.
     pub(crate) now: SimTime,
@@ -125,9 +180,10 @@ pub struct Fleet {
     /// Drain passes that actually scanned the queue (skip-scan
     /// observability for tests).
     drain_scans: u64,
-    /// Residents currently serving below their requested rate: tenant
-    /// name → requested fps. Ordered so upgrade passes are deterministic.
-    degraded: BTreeMap<String, f64>,
+    /// Requested fps of residents currently serving below it, id-indexed
+    /// (`None` = not degraded). Upgrade passes sort by resolved name so
+    /// their order matches the pre-interning contract.
+    degraded: Vec<Option<f64>>,
     /// Memoised [`policy::can_ever_fit`] answers per price point
     /// `(model, stages, fps bits)` — the answer is load-independent, so
     /// demand-aware expiry sweeps cost one map lookup per queued waiter
@@ -156,19 +212,22 @@ impl Fleet {
         let planner = DispatchPlanner::new(cfg.placement, nodes.len(), cfg.sharding.as_ref());
         let queue = DispatchQueue::new(cfg.queue.policy);
         let telemetry = Telemetry::new(cfg.telemetry.clone());
+        let node_ids = vec![Vec::new(); nodes.len()];
         Fleet {
             cfg,
             nodes,
             admission,
             planner,
             queue,
-            pending_phase: HashMap::new(),
+            interner: TenantInterner::new(),
+            pending_phase: Vec::new(),
             compiled: HashMap::new(),
-            active: HashSet::new(),
+            resident_node: Vec::new(),
+            node_ids,
             now: SimTime::ZERO,
             capacity_released: true,
             drain_scans: 0,
-            degraded: BTreeMap::new(),
+            degraded: Vec::new(),
             hopeless_cache: HashMap::new(),
             telemetry,
         }
@@ -195,7 +254,29 @@ impl Fleet {
     /// Number of residents currently serving below their requested rate.
     #[must_use]
     pub fn degraded_residents(&self) -> usize {
-        self.degraded.len()
+        self.degraded.iter().flatten().count()
+    }
+
+    /// Number of currently active tenants (resident or queued).
+    #[must_use]
+    pub fn active_tenants(&self) -> usize {
+        self.interner.live()
+    }
+
+    /// High-water mark of concurrently active tenants across the fleet's
+    /// lifetime.
+    #[must_use]
+    pub fn peak_active_tenants(&self) -> usize {
+        self.interner.peak_live()
+    }
+
+    /// Tenant-id slots ever allocated. With LIFO recycling this equals
+    /// [`Fleet::peak_active_tenants`] — independent of how many tenants
+    /// ever streamed through — which is the capacity check the
+    /// O(active)-memory claim rests on.
+    #[must_use]
+    pub fn tenant_id_capacity(&self) -> usize {
+        self.interner.capacity()
     }
 
     /// The admission controller in use.
@@ -207,6 +288,23 @@ impl Fleet {
     /// The shard directory, when sharding is configured.
     pub(crate) fn router(&self) -> Option<&ShardDirectory> {
         self.planner.router()
+    }
+
+    /// The interned id of an active tenant, if `name` is active.
+    pub(crate) fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.interner.lookup(name)
+    }
+
+    /// The node a resident tenant lives on (`None` when queued or
+    /// unknown).
+    pub(crate) fn resident_node_of(&self, id: TenantId) -> Option<usize> {
+        self.resident_node.get(id.index()).copied().flatten()
+    }
+
+    /// The tenant slot of `id` on node `idx`, by integer scan of the
+    /// node's id list.
+    pub(crate) fn node_slot(&self, idx: usize, id: TenantId) -> Option<usize> {
+        self.node_ids[idx].iter().position(|&x| x == id)
     }
 
     /// Chooses a node for `tenant` without committing the placement —
@@ -234,12 +332,71 @@ impl Fleet {
         plan
     }
 
-    /// Makes `tenant` resident on node `idx`, keeping the active-name
-    /// set and the shard summaries in sync.
-    fn commit(&mut self, idx: usize, tenant: TenantSpec) {
+    /// Interns an arriving tenant name and grows the id-indexed side
+    /// tables to cover the new slot.
+    fn intern(&mut self, name: &str) -> TenantId {
+        let id = self.interner.intern(name);
+        let slot = id.index();
+        if slot >= self.resident_node.len() {
+            self.resident_node.resize(slot + 1, None);
+            self.degraded.resize(slot + 1, None);
+            self.pending_phase.resize(slot + 1, None);
+        }
+        debug_assert!(
+            self.resident_node[slot].is_none()
+                && self.degraded[slot].is_none()
+                && self.pending_phase[slot].is_none(),
+            "recycled id slots start clean"
+        );
+        id
+    }
+
+    /// Releases an id: clears every id-indexed slot and frees the
+    /// interner entry for LIFO reuse.
+    fn release(&mut self, id: TenantId) {
+        let slot = id.index();
+        self.resident_node[slot] = None;
+        self.degraded[slot] = None;
+        self.pending_phase[slot] = None;
+        self.interner.release(id);
+    }
+
+    /// Makes the tenant resident at the end of node `idx`'s slot list,
+    /// keeping the id tables and shard summaries in sync.
+    fn commit(&mut self, id: TenantId, idx: usize, tenant: TenantSpec) {
         self.planner.note_place(idx, tenant.demand_sm_equivalents());
-        self.active.insert(tenant.name.clone());
+        self.attach_resident(idx, id, tenant);
+    }
+
+    /// Appends a resident to node `idx`, maintaining the parallel id
+    /// list and the id → node index.
+    pub(crate) fn attach_resident(&mut self, idx: usize, id: TenantId, tenant: TenantSpec) {
+        self.node_ids[idx].push(id);
         self.nodes[idx].tenants.push(tenant);
+        self.resident_node[id.index()] = Some(idx);
+    }
+
+    /// Removes the resident at `slot` on node `idx`, returning its id
+    /// and spec (the migration victim path).
+    pub(crate) fn detach_resident(&mut self, idx: usize, slot: usize) -> (TenantId, TenantSpec) {
+        let id = self.node_ids[idx].remove(slot);
+        let spec = self.nodes[idx].tenants.remove(slot);
+        self.resident_node[id.index()] = None;
+        (id, spec)
+    }
+
+    /// Restores a detached resident to its original slot (a migration
+    /// that found no destination).
+    pub(crate) fn restore_resident(
+        &mut self,
+        idx: usize,
+        slot: usize,
+        id: TenantId,
+        tenant: TenantSpec,
+    ) {
+        self.node_ids[idx].insert(slot, id);
+        self.nodes[idx].tenants.insert(slot, tenant);
+        self.resident_node[id.index()] = Some(idx);
     }
 
     /// Offers `tenant` to the placement policy: on success the tenant
@@ -250,18 +407,30 @@ impl Fleet {
     /// every admissible price) it is dropped; when its name is already
     /// active it is rejected as a duplicate.
     pub fn dispatch(&mut self, tenant: TenantSpec) -> DispatchOutcome {
-        if self.active.contains(&tenant.name) {
-            return DispatchOutcome::Duplicate;
+        self.dispatch_interned(tenant).0
+    }
+
+    /// [`Self::dispatch`], also reporting the id assigned to an arrival
+    /// that became active (placed or queued) — the engines' handle for
+    /// all further bookkeeping.
+    pub(crate) fn dispatch_interned(
+        &mut self,
+        tenant: TenantSpec,
+    ) -> (DispatchOutcome, Option<TenantId>) {
+        if self.interner.lookup(&tenant.name).is_some() {
+            return (DispatchOutcome::Duplicate, None);
         }
         match self.plan_repriced(&tenant) {
             Some(PricedPlan::Full(idx)) => {
-                self.commit(idx, tenant);
-                return DispatchOutcome::Placed(idx);
+                let id = self.intern(&tenant.name);
+                self.commit(id, idx, tenant);
+                return (DispatchOutcome::Placed(idx), Some(id));
             }
             Some(PricedPlan::Degraded(idx, fps)) => {
-                self.degraded.insert(tenant.name.clone(), tenant.fps);
-                self.commit(idx, tenant.at_fps(fps));
-                return DispatchOutcome::PlacedDegraded { node: idx, fps };
+                let id = self.intern(&tenant.name);
+                self.degraded[id.index()] = Some(tenant.fps);
+                self.commit(id, idx, tenant.at_fps(fps));
+                return (DispatchOutcome::PlacedDegraded { node: idx, fps }, Some(id));
             }
             None => {}
         }
@@ -271,11 +440,11 @@ impl Fleet {
             self.cfg.queue.repricing,
         );
         if feasible {
-            self.active.insert(tenant.name.clone());
-            self.queue.push(tenant, self.now);
-            DispatchOutcome::Queued
+            let id = self.intern(&tenant.name);
+            self.queue.push(id, tenant, self.now);
+            (DispatchOutcome::Queued, Some(id))
         } else {
-            DispatchOutcome::Infeasible
+            (DispatchOutcome::Infeasible, None)
         }
     }
 
@@ -287,11 +456,11 @@ impl Fleet {
         &mut self,
         tenant: TenantSpec,
         builder: &mut FleetMetricsBuilder,
-    ) -> DispatchOutcome {
+    ) -> (DispatchOutcome, Option<TenantId>) {
         builder.arrivals += 1;
         let traced_name = self.telemetry.enabled().then(|| tenant.name.clone());
         let probes_before = self.planner.probes();
-        let outcome = self.dispatch(tenant);
+        let (outcome, id) = self.dispatch_interned(tenant);
         match &outcome {
             DispatchOutcome::Placed(_) => builder.admitted += 1,
             DispatchOutcome::PlacedDegraded { .. } => {
@@ -308,7 +477,7 @@ impl Fleet {
             self.telemetry
                 .record_arrival(self.now, &name, &outcome, probes, depth);
         }
-        outcome
+        (outcome, id)
     }
 
     /// Removes the named tenant wherever it lives (node or queue).
@@ -316,40 +485,56 @@ impl Fleet {
     /// contract of [`TenantSpec::name`] (enforced by [`Self::dispatch`])
     /// at most one active tenant can match.
     pub fn remove(&mut self, name: &str) -> bool {
-        if let Some((idx, pos)) = self.locate(name) {
+        match self.interner.lookup(name) {
+            Some(id) => self.remove_id(id),
+            None => false,
+        }
+    }
+
+    /// [`Self::remove`] by interned id: the engines' departure path.
+    pub(crate) fn remove_id(&mut self, id: TenantId) -> bool {
+        if let Some((idx, pos)) = self.locate_id(id) {
             self.nodes[idx].tenants.remove(pos);
-            self.active.remove(name);
-            self.degraded.remove(name);
+            self.node_ids[idx].remove(pos);
+            self.release(id);
             // A departure frees node capacity: the next drain pass must
             // actually scan the queue again.
             self.capacity_released = true;
             self.planner.invalidate_node(idx);
             return true;
         }
-        if self.queue.remove(name) {
-            self.active.remove(name);
+        if self.queue.remove_id(id).is_some() {
+            self.release(id);
             return true;
         }
         false
     }
 
-    /// [`Self::remove`] plus the shared departure accounting: a removed
-    /// tenant counts as a departure, and a departing pre-run waiter must
-    /// not leave its name behind (a later same-named deferred arrival
-    /// would match the stale entry and be miscounted as rejected). One
+    /// [`Self::remove_id`] plus the shared departure accounting: a
+    /// removed tenant counts as a departure, and a departing pre-run
+    /// waiter must not leave its id behind (a later same-named deferred
+    /// arrival would reuse the slot and be miscounted as rejected). One
     /// definition for both execution engines.
     pub(crate) fn remove_accounted(
         &mut self,
-        name: &str,
+        id: TenantId,
         builder: &mut FleetMetricsBuilder,
-        pre_run_queued: &mut HashSet<String>,
+        pre_run_queued: &mut HashSet<TenantId>,
     ) -> bool {
-        let resident = self.telemetry.enabled() && self.locate(name).is_some();
-        if self.remove(name) {
+        // Resolve the render-edge name before the id is released.
+        let traced = self.telemetry.enabled().then(|| {
+            (
+                self.interner.name(id).to_string(),
+                self.resident_node_of(id).is_some(),
+            )
+        });
+        if self.remove_id(id) {
             builder.departures += 1;
-            pre_run_queued.remove(name);
-            let depth = self.queue.len();
-            self.telemetry.record_departure(self.now, name, resident, depth);
+            pre_run_queued.remove(&id);
+            if let Some((name, resident)) = traced {
+                let depth = self.queue.len();
+                self.telemetry.record_departure(self.now, &name, resident, depth);
+            }
             true
         } else {
             false
@@ -367,7 +552,7 @@ impl Fleet {
         self.drain_queue_admissions().len() as u64
     }
 
-    /// [`Self::drain_queue`], reporting each admission's name, price, and
+    /// [`Self::drain_queue`], reporting each admission's id, price, and
     /// wait so the engines can attribute it to the right deferral.
     pub(crate) fn drain_queue_admissions(&mut self) -> Vec<QueueAdmission> {
         let mut admitted = Vec::new();
@@ -385,20 +570,20 @@ impl Fleet {
                 break;
             };
             let waited = self.now.duration_since(entry.enqueued_at);
+            let id = entry.id;
             let (idx, spec, was_degraded) = match plan {
                 PricedPlan::Full(idx) => (idx, entry.tenant, false),
                 PricedPlan::Degraded(idx, fps) => {
-                    self.degraded
-                        .insert(entry.tenant.name.clone(), entry.tenant.fps);
+                    self.degraded[id.index()] = Some(entry.tenant.fps);
                     (idx, entry.tenant.at_fps(fps), true)
                 }
             };
             admitted.push(QueueAdmission {
-                name: spec.name.clone(),
+                id,
                 degraded: was_degraded,
                 waited,
             });
-            self.commit(idx, spec);
+            self.commit(id, idx, spec);
         }
         self.capacity_released = false;
         admitted
@@ -416,11 +601,11 @@ impl Fleet {
     pub(crate) fn drain_and_upgrade_accounted(
         &mut self,
         builder: &mut FleetMetricsBuilder,
-        pre_run_queued: &mut HashSet<String>,
+        pre_run_queued: &mut HashSet<TenantId>,
     ) -> Vec<QueueAdmission> {
         let admissions = self.drain_queue_admissions();
         for adm in &admissions {
-            let counted = !pre_run_queued.remove(&adm.name);
+            let counted = !pre_run_queued.remove(&adm.id);
             if counted {
                 builder.admitted_after_wait += 1;
                 builder.record_wait(adm.waited);
@@ -428,15 +613,18 @@ impl Fleet {
             if adm.degraded {
                 builder.degraded += 1;
             }
-            let depth = self.queue.len();
-            self.telemetry.record_queue_admit(
-                self.now,
-                &adm.name,
-                adm.degraded,
-                adm.waited,
-                counted,
-                depth,
-            );
+            if self.telemetry.enabled() {
+                let depth = self.queue.len();
+                let name = self.interner.name(adm.id).to_string();
+                self.telemetry.record_queue_admit(
+                    self.now,
+                    &name,
+                    adm.degraded,
+                    adm.waited,
+                    counted,
+                    depth,
+                );
+            }
         }
         // Leftover capacity steps degraded residents back up their
         // ladders (an in-place partition switch, not a migration) —
@@ -449,14 +637,15 @@ impl Fleet {
     }
 
     /// Drops queued tenants whose [`TenantSpec::max_wait`] elapsed,
-    /// returning their names.
-    pub(crate) fn expire_queued(&mut self) -> Vec<String> {
+    /// returning their ids and names (the name is the render-edge
+    /// residue the telemetry path needs after the id is freed).
+    pub(crate) fn expire_queued(&mut self) -> Vec<(TenantId, String)> {
         let expired = self.queue.take_expired(self.now);
         expired
             .into_iter()
             .map(|e| {
-                self.active.remove(&e.tenant.name);
-                e.tenant.name
+                self.release(e.id);
+                (e.id, e.tenant.name)
             })
             .collect()
     }
@@ -481,40 +670,47 @@ impl Fleet {
     /// Demand-aware expiry sweep ([`crate::QueueConfig::demand_aware_expiry`]):
     /// drops queued tenants that provably can never be admitted — no
     /// node could carry them even fully drained, at any ladder step —
-    /// and returns their names. Waiting longer can never help such a
-    /// waiter, so expiring it before its patience elapses loses nothing.
-    /// Only the price points matter, so the sweep collects cheap
-    /// `(name, price…)` keys instead of cloning whole specs.
-    pub(crate) fn expire_hopeless(&mut self) -> Vec<String> {
+    /// and returns their ids and names. Waiting longer can never help
+    /// such a waiter, so expiring it before its patience elapses loses
+    /// nothing. Only the price points matter, so the sweep collects
+    /// cheap `(id, price…)` keys instead of cloning whole specs.
+    pub(crate) fn expire_hopeless(&mut self) -> Vec<(TenantId, String)> {
         if self.queue.len() == 0 {
             return Vec::new();
         }
         let repricing = self.cfg.queue.repricing;
-        let waiters: Vec<(String, crate::ModelKind, usize, Vec<f64>)> = self
+        let waiters: Vec<(TenantId, crate::ModelKind, usize, Vec<f64>)> = self
             .queue
-            .iter()
-            .map(|t| {
+            .entries()
+            .map(|e| {
+                let t = &e.tenant;
                 let mut prices = vec![t.fps];
                 if repricing {
                     prices.extend(t.degrade_steps());
                 }
-                (t.name.clone(), t.model, t.stages, prices)
+                (e.id, t.model, t.stages, prices)
             })
             .collect();
         let mut doomed = Vec::new();
-        for (name, model, stages, prices) in waiters {
+        for (id, model, stages, prices) in waiters {
             let fits = prices
                 .iter()
                 .any(|&fps| self.price_can_ever_fit(model, stages, fps));
             if !fits {
-                doomed.push(name);
+                doomed.push(id);
             }
         }
-        for name in &doomed {
-            self.queue.remove(name);
-            self.active.remove(name);
-        }
         doomed
+            .into_iter()
+            .map(|id| {
+                let entry = self
+                    .queue
+                    .remove_id(id)
+                    .expect("invariant: hopeless waiters are still queued");
+                self.release(id);
+                (id, entry.tenant.name)
+            })
+            .collect()
     }
 
     /// The shared expiry accounting both engines run at their expiry
@@ -527,18 +723,18 @@ impl Fleet {
     pub(crate) fn expire_accounted(
         &mut self,
         builder: &mut FleetMetricsBuilder,
-        pre_run_queued: &mut HashSet<String>,
+        pre_run_queued: &mut HashSet<TenantId>,
     ) {
-        for name in self.expire_queued() {
+        for (id, name) in self.expire_queued() {
             builder.expired += 1;
-            pre_run_queued.remove(&name);
+            pre_run_queued.remove(&id);
             let depth = self.queue.len();
             self.telemetry.record_expired(self.now, &name, false, depth);
         }
         if self.cfg.queue.demand_aware_expiry {
-            for name in self.expire_hopeless() {
+            for (id, name) in self.expire_hopeless() {
                 builder.expired_hopeless += 1;
-                pre_run_queued.remove(&name);
+                pre_run_queued.remove(&id);
                 let depth = self.queue.len();
                 self.telemetry.record_expired(self.now, &name, true, depth);
             }
@@ -550,22 +746,34 @@ impl Fleet {
     /// ladder step that fits ([`policy::upgrade_candidates`] orders the
     /// attempts). Upgrades are in-place partition switches on the
     /// resident node (SGPRS's zero-cost reconfiguration), never
-    /// migrations, and run in tenant-name order for determinism. Returns
-    /// the number of upgrade steps taken.
+    /// migrations, and run in tenant-name order for determinism (the
+    /// order the pre-interning `BTreeMap` walked, so output is
+    /// unchanged). Returns the number of upgrade steps taken.
     pub(crate) fn upgrade_degraded(&mut self) -> u64 {
-        if self.degraded.is_empty() {
+        // Collect (name, id, requested) in slot order, then sort by name:
+        // slot order is deterministic but recycling-dependent; name order
+        // is the documented contract.
+        let mut entries: Vec<(String, TenantId, f64)> = Vec::new();
+        for (slot, requested) in self.degraded.iter().enumerate() {
+            if let Some(requested) = requested {
+                let id = TenantId::from_raw(
+                    u32::try_from(slot).expect("invariant: id slots fit in u32"),
+                );
+                entries.push((self.interner.name(id).to_string(), id, *requested));
+            }
+        }
+        if entries.is_empty() {
             return 0;
         }
-        let names: Vec<String> = self.degraded.keys().cloned().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
         let mut upgrades = 0;
-        for name in names {
-            let requested = self.degraded[&name];
+        for (name, id, requested) in entries {
             // Find the resident (it may have migrated since it degraded).
-            let Some((idx, pos)) = self.locate(&name) else {
+            let Some((idx, pos)) = self.locate_id(id) else {
                 // Defensive: a degraded entry with no resident would mean
-                // a removal missed the map; drop it rather than retry
+                // a removal missed the table; drop it rather than retry
                 // forever.
-                self.degraded.remove(&name);
+                self.degraded[id.index()] = None;
                 continue;
             };
             let resident = self.nodes[idx].tenants.remove(pos);
@@ -581,11 +789,12 @@ impl Fleet {
             match upgraded {
                 Some(priced) => {
                     if (priced.fps - requested).abs() < 1e-12 {
-                        self.degraded.remove(&name);
+                        self.degraded[id.index()] = None;
                     }
                     let fps = priced.fps;
                     // Same slot, so placement order (and migration's LIFO
-                    // victim choice) is unaffected by the price change.
+                    // victim choice) is unaffected by the price change —
+                    // `node_ids` is untouched for the same reason.
                     self.nodes[idx].tenants.insert(pos, priced);
                     upgrades += 1;
                     self.planner.invalidate_node(idx);
@@ -597,14 +806,13 @@ impl Fleet {
         upgrades
     }
 
-    /// The node index and tenant slot of the named resident.
-    pub(crate) fn locate(&self, name: &str) -> Option<(usize, usize)> {
-        for (idx, node) in self.nodes.iter().enumerate() {
-            if let Some(pos) = node.tenants.iter().position(|t| t.name == name) {
-                return Some((idx, pos));
-            }
-        }
-        None
+    /// The node index and tenant slot of the resident with this id.
+    pub(crate) fn locate_id(&self, id: TenantId) -> Option<(usize, usize)> {
+        let idx = self.resident_node_of(id)?;
+        let pos = self
+            .node_slot(idx, id)
+            .expect("invariant: resident ids appear in their node's id list");
+        Some((idx, pos))
     }
 
     /// Drain passes that actually scanned the queue (the skip-scan
@@ -612,6 +820,15 @@ impl Fleet {
     #[cfg(test)]
     fn drain_scans(&self) -> u64 {
         self.drain_scans
+    }
+
+    /// Force-loads a resident onto node `idx`, bypassing admission but
+    /// keeping the interner and id tables consistent (tests that build
+    /// overload scenarios the dispatcher would refuse).
+    #[cfg(test)]
+    fn seed_resident(&mut self, idx: usize, tenant: TenantSpec) {
+        let id = self.intern(&tenant.name);
+        self.attach_resident(idx, id, tenant);
     }
 
     /// The wall-clock plan-latency histogram of the last finished run
@@ -642,15 +859,24 @@ impl Fleet {
         task
     }
 
-    /// Runs the fleet over `trace` until `horizon`, returning the
-    /// aggregated metrics.
+    /// Runs the fleet over `arrivals` until `horizon`, returning the
+    /// aggregated metrics. Accepts a lazily generated
+    /// [`ArrivalStream`] or anything convertible into one (a
+    /// [`crate::ChurnTrace`] converts via its sorted event sequence);
+    /// the two are byte-identical for the same `(config, horizon,
+    /// seed)`, so which one drives a run never shows in the output.
     ///
     /// # Panics
     ///
     /// Panics if the configured epoch is zero.
     #[must_use]
-    pub fn run(&mut self, trace: ChurnTrace, horizon: SimDuration) -> FleetMetrics {
+    pub fn run(
+        &mut self,
+        arrivals: impl Into<ArrivalStream>,
+        horizon: SimDuration,
+    ) -> FleetMetrics {
         assert!(!self.cfg.epoch.is_zero(), "epoch must be positive");
+        let mut arrivals = arrivals.into();
         let mut builder = FleetMetricsBuilder::new(
             self.nodes.iter().map(|n| n.spec.name.clone()).collect(),
             self.nodes.iter().map(|n| n.spec.gpu.total_sms).collect(),
@@ -660,17 +886,15 @@ impl Fleet {
         // Tenants already waiting when `run` starts are not this run's
         // deferrals: their later admission must not offset the eventual-
         // rejection count of arrivals deferred *by this run*.
-        let mut pre_run_queued: HashSet<String> =
-            self.queue.iter().map(|t| t.name.clone()).collect();
+        let mut pre_run_queued: HashSet<TenantId> = self.queue.ids().collect();
         // Every run is its own timeline starting at zero (matching its
-        // trace), so waiters carried over from before this run are
+        // arrivals), so waiters carried over from before this run are
         // re-stamped as enqueued at the start: their wait is excluded
         // from this run's statistics anyway (`pre_run_queued`), and
         // their `max_wait` patience restarts on the new clock rather
         // than expiring against a stale one.
         self.now = SimTime::ZERO;
         self.queue.rebase(SimTime::ZERO);
-        let mut events = VecDeque::from(trace.into_sorted());
         let mut epoch_start = SimTime::ZERO;
         let end = SimTime::ZERO + horizon;
         let mut epoch_index = 0u64;
@@ -684,7 +908,9 @@ impl Fleet {
             // 1a. Apply departures from the previous epoch.
             self.now = epoch_start;
             for name in deferred_departures.drain(..) {
-                let _ = self.remove_accounted(&name, &mut builder, &mut pre_run_queued);
+                if let Some(id) = self.interner.lookup(&name) {
+                    let _ = self.remove_accounted(id, &mut builder, &mut pre_run_queued);
+                }
             }
             // Waiters whose queue deadline elapsed give up first; an
             // expired in-run deferral was never served, so the eventual-
@@ -693,20 +919,27 @@ impl Fleet {
             // The departures may have freed room for queued tenants;
             // the shared helper folds admissions and upgrades in.
             let _ = self.drain_and_upgrade_accounted(&mut builder, &mut pre_run_queued);
-            // 1b. Apply churn falling inside this epoch.
-            while let Some((at, _)) = events.front() {
-                if *at >= epoch_end {
+            // 1b. Apply churn falling inside this epoch, pulled lazily
+            // from the stream — only the departures of currently-live
+            // tenants are ever buffered, never the whole trace.
+            while let Some(at) = arrivals.peek_time() {
+                if at >= epoch_end {
                     break;
                 }
-                let (at, event) = events.pop_front().expect("invariant: front exists, loop guard checked non-empty");
+                let (at, event) = arrivals
+                    .next_event()
+                    .expect("invariant: a peeked stream event exists");
                 match event {
                     ChurnEvent::Arrival(tenant) => {
                         let phase = at.duration_since(epoch_start);
                         self.now = at;
-                        match self.dispatch_accounted(tenant.clone(), &mut builder) {
+                        let (outcome, id) = self.dispatch_accounted(tenant, &mut builder);
+                        match outcome {
                             DispatchOutcome::Placed(_)
                             | DispatchOutcome::PlacedDegraded { .. } => {
-                                self.pending_phase.insert(tenant.name, phase);
+                                let id =
+                                    id.expect("invariant: placed arrivals are interned");
+                                self.pending_phase[id.index()] = Some(phase);
                             }
                             _ => {}
                         }
@@ -734,14 +967,17 @@ impl Fleet {
                     continue;
                 }
                 let tenants = self.nodes[idx].tenants.clone();
+                let ids = self.node_ids[idx].clone();
                 let tasks: Vec<CompiledTask> = tenants
                     .iter()
-                    .map(|t| {
+                    .zip(&ids)
+                    .map(|(t, &id)| {
                         let mut task = self.compiled_for(t, idx);
                         task.spec.phase = self
                             .pending_phase
-                            .get(&t.name)
+                            .get(id.index())
                             .copied()
+                            .flatten()
                             .unwrap_or(SimDuration::ZERO);
                         task
                     })
@@ -753,7 +989,7 @@ impl Fleet {
                     .wrapping_add(idx as u64);
                 jobs.push(NodeEpochJob { idx, tasks, seed });
             }
-            self.pending_phase.clear();
+            self.pending_phase.fill(None);
             // Nodes are independent within an epoch: fan out, then fold
             // in ascending node index so the metrics are bit-identical
             // to the sequential path.
@@ -777,7 +1013,9 @@ impl Fleet {
         }
         // Departures whose boundary is the end of the run still count.
         for name in deferred_departures.drain(..) {
-            let _ = self.remove_accounted(&name, &mut builder, &mut pre_run_queued);
+            if let Some(id) = self.interner.lookup(&name) {
+                let _ = self.remove_accounted(id, &mut builder, &mut pre_run_queued);
+            }
         }
         // Rejections are *eventual* outcomes: a deferred arrival that was
         // never admitted later — still queued at the end, or departed
@@ -791,7 +1029,7 @@ impl Fleet {
         metrics
     }
 
-    /// Runs the fleet over `trace` until `horizon` in **event-driven**
+    /// Runs the fleet over `arrivals` until `horizon` in **event-driven**
     /// mode, returning the aggregated metrics.
     ///
     /// Where [`Fleet::run`] quantises to the epoch grid, this path
@@ -803,7 +1041,8 @@ impl Fleet {
     /// migration fires at job-release boundaries, paying the
     /// [`crate::MigrationConfig::cost`] state-transfer stall — while
     /// re-pricing degrade/upgrade switches stay free partition switches.
-    /// The run is single-threaded and deterministic:
+    /// Churn is merged lazily from the stream, never materialised into
+    /// the heap. The run is single-threaded and deterministic:
     /// [`FleetConfig::workers`] / [`FleetConfig::parallel`] have no
     /// effect, so the metrics are byte-identical across those knobs;
     /// sharding steers placement exactly as on the epoch path
@@ -816,21 +1055,85 @@ impl Fleet {
     /// sampling and the migration DMR window), or — defensively — if any
     /// admitted job failed to run to completion.
     #[must_use]
-    pub fn run_events(&mut self, trace: ChurnTrace, horizon: SimDuration) -> FleetMetrics {
-        crate::event::run_events(self, trace, horizon)
+    pub fn run_events(
+        &mut self,
+        arrivals: impl Into<ArrivalStream>,
+        horizon: SimDuration,
+    ) -> FleetMetrics {
+        crate::event::run_events(self, arrivals.into(), horizon)
     }
 
-    /// Runs `trace` in whichever execution mode the configuration
+    /// Runs `arrivals` in whichever execution mode the configuration
     /// selects: [`Fleet::run_events`] when
     /// [`FleetConfig::event_driven`] is set, the classic epoch-driven
     /// [`Fleet::run`] otherwise.
     #[must_use]
-    pub fn run_configured(&mut self, trace: ChurnTrace, horizon: SimDuration) -> FleetMetrics {
+    pub fn run_configured(
+        &mut self,
+        arrivals: impl Into<ArrivalStream>,
+        horizon: SimDuration,
+    ) -> FleetMetrics {
         if self.cfg.event_driven {
-            self.run_events(trace, horizon)
+            self.run_events(arrivals, horizon)
         } else {
-            self.run(trace, horizon)
+            self.run(arrivals, horizon)
         }
+    }
+
+    /// Replays `arrivals` through the dispatch path alone — plan,
+    /// commit, remove, expire, drain — with no scheduler execution and
+    /// no metrics builder: the sustained-throughput surface the
+    /// `fleet_stream` bench measures (arrivals/sec through dispatch at
+    /// fleet scale). Departure instants apply exactly; each departure is
+    /// followed by a patience-expiry sweep and a queue drain so the
+    /// wait queue stays bounded over arbitrarily long streams.
+    ///
+    /// The returned [`DispatchReplay`] carries the interner's
+    /// `peak_active` / `id_capacity` counters: with LIFO id recycling
+    /// the two are equal and independent of how many tenants streamed
+    /// through, which is the trace-length-independent memory evidence.
+    #[must_use]
+    pub fn replay_dispatch(
+        &mut self,
+        arrivals: impl Into<ArrivalStream>,
+        horizon: SimDuration,
+    ) -> DispatchReplay {
+        let mut arrivals = arrivals.into();
+        let end = SimTime::ZERO + horizon;
+        self.now = SimTime::ZERO;
+        let mut replay = DispatchReplay::default();
+        while let Some((at, event)) = arrivals.next_event() {
+            if at >= end {
+                break;
+            }
+            self.now = at;
+            match event {
+                ChurnEvent::Arrival(tenant) => {
+                    replay.arrivals += 1;
+                    match self.dispatch(tenant) {
+                        DispatchOutcome::Placed(_) => replay.placed += 1,
+                        DispatchOutcome::PlacedDegraded { .. } => {
+                            replay.placed += 1;
+                            replay.degraded += 1;
+                        }
+                        DispatchOutcome::Queued => replay.queued += 1,
+                        DispatchOutcome::Infeasible => replay.infeasible += 1,
+                        DispatchOutcome::Duplicate => replay.duplicates += 1,
+                    }
+                }
+                ChurnEvent::Departure(name) => {
+                    if self.remove(&name) {
+                        replay.departures += 1;
+                    }
+                    replay.expired += self.expire_queued().len() as u64;
+                    replay.admitted_after_wait += self.drain_queue();
+                }
+            }
+        }
+        replay.peak_active = self.interner.peak_live();
+        replay.id_capacity = self.interner.capacity();
+        replay.final_active = self.interner.live();
+        replay
     }
 
     /// Moves one tenant (chosen by the configured
@@ -854,7 +1157,7 @@ impl Fleet {
             ) else {
                 continue;
             };
-            let tenant = self.nodes[idx].tenants.remove(slot);
+            let (id, tenant) = self.detach_resident(idx, slot);
             let dest = policy::migration_destination(
                 &FleetState::new(&self.nodes, &self.admission),
                 idx,
@@ -865,7 +1168,7 @@ impl Fleet {
             let victim = self.telemetry.enabled().then(|| tenant.name.clone());
             match dest {
                 Some(j) => {
-                    self.nodes[j].tenants.push(tenant);
+                    self.attach_resident(j, id, tenant);
                     self.planner.invalidate_node(idx);
                     self.planner.invalidate_node(j);
                     // The source node freed capacity: a waiter that
@@ -874,7 +1177,7 @@ impl Fleet {
                     migrations += 1;
                 }
                 // Nobody can take it; restore it to its original slot.
-                None => self.nodes[idx].tenants.insert(slot, tenant),
+                None => self.restore_resident(idx, slot, id, tenant),
             }
             if let Some(victim) = victim {
                 // The epoch path models migration as free (its

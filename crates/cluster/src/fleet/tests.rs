@@ -5,7 +5,7 @@
 
 use super::*;
 use crate::policy::MigrationVictimPolicy;
-use crate::{ChurnConfig, FleetConfig, ModelKind, NodeScheduler, NodeSpec};
+use crate::{ChurnConfig, ChurnTrace, FleetConfig, ModelKind, NodeScheduler, NodeSpec};
 use sgprs_gpu_sim::GpuSpec;
 
 fn three_node_fleet() -> FleetConfig {
@@ -319,7 +319,7 @@ fn migration_moves_load_off_an_overloaded_node() {
     // Force-load the small node beyond its means.
     let mut fleet = Fleet::new(cfg);
     for i in 0..6 {
-        fleet.nodes[0].tenants.push(tenant(i));
+        fleet.seed_resident(0, tenant(i));
     }
     let m = fleet.run(ChurnTrace::new(), SimDuration::from_secs(3));
     assert!(m.migrations > 0, "{m:?}");
@@ -348,13 +348,12 @@ fn demand_aware_victim_sheds_the_most_relieving_tenant() {
         .with_victim_policy(victim)
     };
     let load = |fleet: &mut Fleet| {
-        fleet.nodes[0]
-            .tenants
-            .push(TenantSpec::new("heavy", ModelKind::ResNet18, 60.0));
+        fleet.seed_resident(0, TenantSpec::new("heavy", ModelKind::ResNet18, 60.0));
         for i in 0..4 {
-            fleet.nodes[0]
-                .tenants
-                .push(TenantSpec::new(format!("light-{i}"), ModelKind::ResNet18, 15.0));
+            fleet.seed_resident(
+                0,
+                TenantSpec::new(format!("light-{i}"), ModelKind::ResNet18, 15.0),
+            );
         }
     };
     let mut lifo = Fleet::new(cfg(MigrationVictimPolicy::Lifo));
@@ -425,12 +424,12 @@ fn migration_never_targets_a_node_over_the_dmr_threshold() {
     let mut fleet = Fleet::new(cfg);
     // Overload the small source node outright.
     for i in 0..6 {
-        fleet.nodes[0].tenants.push(tenant(i));
+        fleet.seed_resident(0, tenant(i));
     }
     // Load the naive node under its admission budget but past what
     // it can actually serve.
     for i in 6..24 {
-        fleet.nodes[1].tenants.push(tenant(i));
+        fleet.seed_resident(1, tenant(i));
     }
     let migrant = fleet.nodes[0].tenants.last().cloned().expect("loaded");
     assert!(
@@ -497,6 +496,40 @@ fn drain_skips_the_scan_until_capacity_is_released() {
     assert_eq!(fleet.drain_queue(), 1);
     assert_eq!(fleet.drain_scans(), before + 2, "release re-arms the scan");
     assert_eq!(fleet.queued_names(), vec![tenant(i + 1).name]);
+}
+
+#[test]
+fn queued_departure_releases_no_capacity() {
+    // Regression: a *queued* tenant departing frees no node capacity —
+    // it was never resident — so it must not re-arm the drain scan. If
+    // it did, every impatient waiter giving up would trigger a futile
+    // O(queue) scan of a still-full fleet.
+    let mut fleet = Fleet::new(FleetConfig::new(vec![NodeSpec::sgprs(
+        "small",
+        GpuSpec::synthetic(23),
+    )]));
+    let mut i = 0;
+    while matches!(fleet.dispatch(tenant(i)), DispatchOutcome::Placed(_)) {
+        i += 1;
+    }
+    // tenant(i) waits; queue one more behind it.
+    assert_eq!(fleet.dispatch(tenant(i + 1)), DispatchOutcome::Queued);
+    assert_eq!(fleet.drain_queue(), 0, "fleet is full");
+    assert!(!fleet.capacity_released, "the failed pass disarms the scan");
+    let scans = fleet.drain_scans();
+    // The first waiter gives up: removed from the queue, nothing freed.
+    assert!(fleet.remove(&tenant(i).name));
+    assert!(
+        !fleet.capacity_released,
+        "a queued departure must not report released node capacity"
+    );
+    assert_eq!(fleet.drain_queue(), 0);
+    assert_eq!(fleet.drain_scans(), scans, "no release, no scan");
+    assert_eq!(fleet.queued_names(), vec![tenant(i + 1).name]);
+    // A *resident* departure, by contrast, re-arms it.
+    assert!(fleet.remove(&tenant(0).name));
+    assert!(fleet.capacity_released);
+    assert_eq!(fleet.drain_queue(), 1, "the survivor is admitted");
 }
 
 #[test]
@@ -844,7 +877,7 @@ fn event_migration_pays_the_configured_stall() {
     .with_migration_cost(SimDuration::from_millis(100));
     let mut fleet = Fleet::new(cfg);
     for i in 0..6 {
-        fleet.nodes[0].tenants.push(tenant(i));
+        fleet.seed_resident(0, tenant(i));
     }
     let m = fleet.run_events(ChurnTrace::new(), SimDuration::from_secs(3));
     assert!(m.migrations > 0, "{m:?}");

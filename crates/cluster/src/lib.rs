@@ -28,7 +28,16 @@
 //!   — consumed identically by the epoch path, the event engine, and
 //!   sharded dispatch, so the engines cannot fork on decisions.
 //! * [`ChurnTrace`] / [`ChurnConfig`] — deterministic arrival/departure
-//!   traces driven by [`sgprs_rt::SimTime`].
+//!   traces driven by [`sgprs_rt::SimTime`]; [`ArrivalStream`] delivers
+//!   the identical event sequence *lazily* (generator-driven, holding
+//!   only live tenants' pending departures), so a run's churn memory is
+//!   O(active tenants) instead of O(trace) — millions of tenants stream
+//!   through without materialising.
+//! * [`TenantInterner`] / [`TenantId`] — tenant names are interned to
+//!   dense `u32` ids at the fleet boundary (first-appearance order,
+//!   LIFO slot recycling): residents, queue entries, the degraded table,
+//!   and event payloads are all id-indexed, with names resolved back
+//!   only at the JSON/telemetry render edge.
 //! * [`Fleet`] / [`FleetConfig`] — the epoch-driven dispatcher, with
 //!   optional migration off overloaded nodes. Per-epoch node execution
 //!   fans out over scoped worker threads with bit-identical metrics
@@ -101,19 +110,23 @@ mod churn;
 mod config;
 pub mod event;
 mod fleet;
+mod interner;
 mod metrics;
 mod node;
 mod placement;
 pub mod policy;
 mod queue;
 mod shard;
+mod stream;
 pub mod telemetry;
 mod tenant;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, RejectReason};
 pub use churn::{ChurnConfig, ChurnEvent, ChurnTrace};
 pub use config::{FleetConfig, MigrationConfig};
-pub use fleet::{DispatchOutcome, Fleet};
+pub use fleet::{DispatchOutcome, DispatchReplay, Fleet};
+pub use interner::{TenantId, TenantInterner};
+pub use stream::ArrivalStream;
 pub use policy::{FleetState, MigrationVictimPolicy};
 pub use queue::{QueueConfig, QueuePolicy, AGING_QUANTUM};
 pub use shard::{ShardConfig, ShardRouter, ShardedFleet};

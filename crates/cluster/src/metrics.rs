@@ -392,11 +392,25 @@ impl FleetMetricsBuilder {
     }
 
     /// Records a node's admission utilisation (demand/budget) for one
-    /// epoch.
+    /// epoch. The engines only produce finite samples (budget > 0 is
+    /// checked before dividing), so a non-finite value is a caller bug —
+    /// asserted in debug builds, sanitized to 0.0 in release rather than
+    /// poisoning the mean. The histogram bin clamps the sample to
+    /// `[0, 1]` explicitly: the old `as usize` cast silently collapsed
+    /// negative (and NaN) samples into bin 0, which *looked* like a
+    /// valid idle reading; overload samples above 1.0 stay in the top
+    /// bin, and the mean keeps the raw (unclamped) value so overload
+    /// magnitudes still show up in `mean_utilization`.
     pub fn record_utilization(&mut self, node: usize, utilization: f64) {
-        self.utilization_sum[node] += utilization;
+        debug_assert!(
+            utilization.is_finite(),
+            "utilization sample must be finite, got {utilization}"
+        );
+        let sample = if utilization.is_finite() { utilization } else { 0.0 };
+        self.utilization_sum[node] += sample;
         self.utilization_samples[node] += 1;
-        let bin = ((utilization * UTILIZATION_BINS as f64) as usize).min(UTILIZATION_BINS - 1);
+        let clamped = sample.clamp(0.0, 1.0);
+        let bin = ((clamped * UTILIZATION_BINS as f64) as usize).min(UTILIZATION_BINS - 1);
         self.histogram[bin] += 1;
     }
 
@@ -701,5 +715,40 @@ mod tests {
         assert_eq!(m.total_fps, 0.0);
         assert_eq!(m.dmr, 0.0);
         assert_eq!(m.rejection_rate, 0.0);
+    }
+
+    /// Regression: the histogram bin used a bare `as usize` cast, so a
+    /// negative sample (and NaN, via the saturating cast) landed in bin
+    /// 0 indistinguishable from a genuine idle reading, and nothing
+    /// flagged the bogus input. Edge samples now clamp into the valid
+    /// bin range (overload above 1.0 stays in the top bin, as before),
+    /// and non-finite samples are a debug assertion.
+    #[test]
+    fn utilization_edge_samples_bin_sanely() {
+        let mut b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+        b.record_utilization(0, -0.4); // clamped into bin 0
+        b.record_utilization(0, 0.0);
+        b.record_utilization(0, 0.95);
+        b.record_utilization(0, 7.5); // overload: top bin, not overflow
+        let m = b.finish(SimDuration::from_secs(1), &[0], 0);
+        assert_eq!(m.utilization_histogram[0], 2);
+        assert_eq!(m.utilization_histogram[UTILIZATION_BINS - 1], 2);
+        assert_eq!(m.utilization_histogram.iter().sum::<u64>(), 4);
+        // The mean keeps raw values: overload magnitude must survive.
+        let mean = m.nodes[0].mean_utilization;
+        assert!((mean - (-0.4 + 0.95 + 7.5) / 4.0).abs() < 1e-12, "{mean}");
+        if cfg!(debug_assertions) {
+            let err = std::panic::catch_unwind(|| {
+                let mut b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+                b.record_utilization(0, f64::NAN);
+            });
+            assert!(err.is_err(), "non-finite samples are a caller bug");
+        } else {
+            let mut b = FleetMetricsBuilder::new(vec!["a".into()], vec![68]);
+            b.record_utilization(0, f64::NAN);
+            let m = b.finish(SimDuration::from_secs(1), &[0], 0);
+            assert_eq!(m.utilization_histogram[0], 1, "NaN sanitized to 0.0");
+            assert_eq!(m.nodes[0].mean_utilization, 0.0);
+        }
     }
 }

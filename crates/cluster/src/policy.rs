@@ -79,11 +79,11 @@ pub enum PricedPlan {
     Degraded(usize, f64),
 }
 
-/// One admission out of the wait queue: who got in, at what price, and
-/// after how long a wait.
+/// One admission out of the wait queue: who got in (by interned id), at
+/// what price, and after how long a wait.
 #[derive(Debug, Clone)]
 pub(crate) struct QueueAdmission {
-    pub(crate) name: String,
+    pub(crate) id: crate::interner::TenantId,
     pub(crate) degraded: bool,
     pub(crate) waited: SimDuration,
 }

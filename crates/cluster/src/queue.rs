@@ -31,6 +31,7 @@
 //! [`crate::Fleet`] drives the drain loop and the re-pricing ladder; the
 //! queue only answers "who is next under the policy".
 
+use crate::interner::TenantId;
 use crate::TenantSpec;
 use serde::{Deserialize, Serialize};
 use sgprs_rt::{SimDuration, SimTime};
@@ -97,6 +98,9 @@ pub struct QueueConfig {
 /// One waiting tenant, with the state the policies order by.
 #[derive(Debug, Clone)]
 pub(crate) struct QueueEntry {
+    /// The waiter's interned id (see [`crate::interner`]): the handle
+    /// departures and expiry resolve entries by, no string compares.
+    pub id: TenantId,
     /// The waiting tenant (still at its requested rate).
     pub tenant: TenantSpec,
     /// When the tenant entered the queue.
@@ -159,9 +163,10 @@ impl DispatchQueue {
         self.entries.len()
     }
 
-    /// Enqueues `tenant` at instant `now`.
-    pub fn push(&mut self, tenant: TenantSpec, now: SimTime) {
+    /// Enqueues `tenant` (interned as `id`) at instant `now`.
+    pub fn push(&mut self, id: TenantId, tenant: TenantSpec, now: SimTime) {
         self.entries.push(QueueEntry {
+            id,
             tenant,
             enqueued_at: now,
             seq: self.next_seq,
@@ -169,10 +174,15 @@ impl DispatchQueue {
         self.next_seq += 1;
     }
 
-    /// The waiting tenants in insertion order (for set-like bookkeeping,
+    /// The waiting entries in insertion order (for set-like bookkeeping,
     /// not drain order).
-    pub fn iter(&self) -> impl Iterator<Item = &TenantSpec> {
-        self.entries.iter().map(|e| &e.tenant)
+    pub fn entries(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+
+    /// The waiting tenants' ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = TenantId> + '_ {
+        self.entries.iter().map(|e| e.id)
     }
 
     /// Index of the entry that drains next under the policy at `now`.
@@ -203,15 +213,12 @@ impl DispatchQueue {
         }
     }
 
-    /// Removes the named tenant; `true` when it was waiting.
-    pub fn remove(&mut self, name: &str) -> bool {
-        match self.entries.iter().position(|e| e.tenant.name == name) {
-            Some(i) => {
-                self.entries.remove(i);
-                true
-            }
-            None => false,
-        }
+    /// Removes the entry with this id, returning it when it was waiting.
+    pub fn remove_id(&mut self, id: TenantId) -> Option<QueueEntry> {
+        self.entries
+            .iter()
+            .position(|e| e.id == id)
+            .map(|i| self.entries.remove(i))
     }
 
     /// Removes and returns every entry whose queue deadline has passed at
@@ -248,6 +255,10 @@ mod tests {
         TenantSpec::new(name, ModelKind::ResNet18, 30.0)
     }
 
+    fn tid(raw: u32) -> TenantId {
+        TenantId::from_raw(raw)
+    }
+
     fn at(secs: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_secs(secs)
     }
@@ -255,8 +266,8 @@ mod tests {
     #[test]
     fn fifo_drains_in_arrival_order() {
         let mut q = DispatchQueue::new(QueuePolicy::Fifo);
-        for name in ["a", "b", "c"] {
-            q.push(tenant(name), SimTime::ZERO);
+        for (i, name) in ["a", "b", "c"].into_iter().enumerate() {
+            q.push(tid(i as u32), tenant(name), SimTime::ZERO);
         }
         assert_eq!(q.names_in_order(SimTime::ZERO), vec!["a", "b", "c"]);
         assert_eq!(q.pop_first(SimTime::ZERO).expect("non-empty").tenant.name, "a");
@@ -271,9 +282,9 @@ mod tests {
     #[test]
     fn priority_drains_heavier_weights_first_fifo_within() {
         let mut q = DispatchQueue::new(QueuePolicy::Priority);
-        q.push(tenant("light-0"), SimTime::ZERO);
-        q.push(tenant("heavy").with_weight(5), SimTime::ZERO);
-        q.push(tenant("light-1"), SimTime::ZERO);
+        q.push(tid(0), tenant("light-0"), SimTime::ZERO);
+        q.push(tid(1), tenant("heavy").with_weight(5), SimTime::ZERO);
+        q.push(tid(2), tenant("light-1"), SimTime::ZERO);
         assert_eq!(q.names_in_order(SimTime::ZERO), vec!["heavy", "light-0", "light-1"]);
     }
 
@@ -281,18 +292,18 @@ mod tests {
     fn earliest_deadline_orders_by_slack_deadline_less_last() {
         let mut q = DispatchQueue::new(QueuePolicy::EarliestDeadline);
         // Enqueued later but tighter deadline: drains first.
-        q.push(tenant("patient"), at(0));
-        q.push(tenant("loose").with_max_wait(SimDuration::from_secs(9)), at(1));
-        q.push(tenant("tight").with_max_wait(SimDuration::from_secs(2)), at(2));
+        q.push(tid(0), tenant("patient"), at(0));
+        q.push(tid(1), tenant("loose").with_max_wait(SimDuration::from_secs(9)), at(1));
+        q.push(tid(2), tenant("tight").with_max_wait(SimDuration::from_secs(2)), at(2));
         assert_eq!(q.names_in_order(at(2)), vec!["tight", "loose", "patient"]);
     }
 
     #[test]
     fn expiry_removes_only_past_deadline_entries() {
         let mut q = DispatchQueue::new(QueuePolicy::Fifo);
-        q.push(tenant("gives-up").with_max_wait(SimDuration::from_secs(1)), at(0));
-        q.push(tenant("waits"), at(0));
-        q.push(tenant("later").with_max_wait(SimDuration::from_secs(1)), at(3));
+        q.push(tid(0), tenant("gives-up").with_max_wait(SimDuration::from_secs(1)), at(0));
+        q.push(tid(1), tenant("waits"), at(0));
+        q.push(tid(2), tenant("later").with_max_wait(SimDuration::from_secs(1)), at(3));
         // At t = 1 the first deadline is exactly due, not yet past.
         assert!(q.take_expired(at(1)).is_empty());
         let expired = q.take_expired(at(2));
@@ -304,13 +315,13 @@ mod tests {
     #[test]
     fn weighted_fair_starts_as_priority_then_ages() {
         let mut q = DispatchQueue::new(QueuePolicy::WeightedFair);
-        q.push(tenant("light"), at(0));
-        q.push(tenant("heavy").with_weight(5), at(0));
+        q.push(tid(0), tenant("light"), at(0));
+        q.push(tid(1), tenant("heavy").with_weight(5), at(0));
         // Fresh queue: plain priority order.
         assert_eq!(q.names_in_order(at(0)), vec!["heavy", "light"]);
         // After enough waiting both aged equally — still priority order —
         // but a *newly arrived* heavy no longer outranks the aged light.
-        q.push(tenant("late-heavy").with_weight(5), at(6));
+        q.push(tid(2), tenant("late-heavy").with_weight(5), at(6));
         assert_eq!(
             q.names_in_order(at(6)),
             vec!["heavy", "light", "late-heavy"],
@@ -326,10 +337,11 @@ mod tests {
         // its aged weight outgrows every fresh heavy arrival.
         let drained_light_within = |policy: QueuePolicy, rounds: u64| -> Option<u64> {
             let mut q = DispatchQueue::new(policy);
-            q.push(tenant("light"), at(0));
+            q.push(tid(0), tenant("light"), at(0));
             for round in 0..rounds {
                 let now = at(round);
                 q.push(
+                    tid(round as u32 + 1),
                     tenant(&format!("heavy-{round}")).with_weight(9),
                     now,
                 );
@@ -367,14 +379,18 @@ mod tests {
         ) {
             let mut q = DispatchQueue::new(QueuePolicy::WeightedFair);
             for (i, &w) in seed_weights.iter().enumerate() {
-                q.push(tenant(&format!("seed-{i}")).with_weight(w), at(0));
+                q.push(tid(i as u32), tenant(&format!("seed-{i}")).with_weight(w), at(0));
             }
             let mut drained = std::collections::HashSet::new();
             let mut round = 0u64;
             // Sustained load: one fresh arrival and one drain per round.
             for &w in &arrival_weights {
                 let now = at(round);
-                q.push(tenant(&format!("in-{round}")).with_weight(w), now);
+                q.push(
+                    tid(round as u32 + 100),
+                    tenant(&format!("in-{round}")).with_weight(w),
+                    now,
+                );
                 let popped = q.pop_first(now).expect("queue non-empty");
                 drained.insert(popped.tenant.name);
                 round += 1;
@@ -403,7 +419,7 @@ mod tests {
     }
 
     #[test]
-    fn remove_by_name_works_across_policies() {
+    fn remove_by_id_works_across_policies() {
         for policy in [
             QueuePolicy::Fifo,
             QueuePolicy::Priority,
@@ -411,11 +427,13 @@ mod tests {
             QueuePolicy::WeightedFair,
         ] {
             let mut q = DispatchQueue::new(policy);
-            q.push(tenant("a"), SimTime::ZERO);
-            q.push(tenant("b"), SimTime::ZERO);
-            assert!(q.remove("a"), "{policy}");
-            assert!(!q.remove("a"), "{policy}");
-            assert_eq!(q.iter().count(), 1);
+            q.push(tid(0), tenant("a"), SimTime::ZERO);
+            q.push(tid(1), tenant("b"), SimTime::ZERO);
+            let removed = q.remove_id(tid(0));
+            assert_eq!(removed.map(|e| e.tenant.name), Some("a".into()), "{policy}");
+            assert!(q.remove_id(tid(0)).is_none(), "{policy}");
+            assert_eq!(q.entries().count(), 1);
+            assert_eq!(q.ids().collect::<Vec<_>>(), vec![tid(1)]);
         }
     }
 }

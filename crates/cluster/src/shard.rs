@@ -35,8 +35,8 @@
 //! simply falls through to the next candidate, degrading to the flat
 //! scan in the worst case rather than rejecting wrongly.
 
-use crate::{AdmissionController, ChurnTrace, DispatchOutcome, Fleet, FleetConfig, FleetMetrics,
-    FleetNode, TenantSpec};
+use crate::{AdmissionController, ArrivalStream, DispatchOutcome, Fleet, FleetConfig,
+    FleetMetrics, FleetNode, TenantSpec};
 use serde::{Deserialize, Serialize};
 use sgprs_rt::SimDuration;
 use std::ops::Range;
@@ -428,14 +428,19 @@ impl ShardedFleet {
         self.inner.drain_queue()
     }
 
-    /// See [`Fleet::run`].
+    /// See [`Fleet::run`]. Accepts a [`crate::ChurnTrace`] or a lazy
+    /// [`ArrivalStream`], like the flat fleet.
     ///
     /// # Panics
     ///
     /// Panics if the configured epoch is zero.
     #[must_use]
-    pub fn run(&mut self, trace: ChurnTrace, horizon: SimDuration) -> FleetMetrics {
-        self.inner.run(trace, horizon)
+    pub fn run(
+        &mut self,
+        arrivals: impl Into<ArrivalStream>,
+        horizon: SimDuration,
+    ) -> FleetMetrics {
+        self.inner.run(arrivals, horizon)
     }
 
     /// See [`Fleet::nodes`].
@@ -659,7 +664,7 @@ mod tests {
         let run_once = || {
             let cfg = FleetConfig::new(nodes(6)).with_seed(11);
             let mut fleet = ShardedFleet::new(cfg, 2);
-            let trace = ChurnTrace::generate(
+            let trace = crate::ChurnTrace::generate(
                 &crate::ChurnConfig::default(),
                 SimDuration::from_secs(3),
                 5,

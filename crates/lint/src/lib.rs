@@ -138,6 +138,8 @@ impl Config {
                 "crates/cluster/src/shard.rs",
                 "crates/cluster/src/queue.rs",
                 "crates/cluster/src/telemetry",
+                "crates/cluster/src/stream.rs",
+                "crates/cluster/src/interner.rs",
             ]),
             wall_clock_allow: own(&[
                 // The plan-latency histogram: wall-clock by design, kept
@@ -154,6 +156,8 @@ impl Config {
                 "crates/cluster/src/event.rs",
                 "crates/cluster/src/event/engine.rs",
                 "crates/cluster/src/event/exec.rs",
+                "crates/cluster/src/stream.rs",
+                "crates/cluster/src/interner.rs",
             ]),
             fold_fns: vec![
                 FoldFn { name: "run_node_epochs".to_string(), prefix: None },

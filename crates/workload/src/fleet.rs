@@ -7,8 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 use sgprs_cluster::{
-    ChurnConfig, ChurnEvent, ChurnTrace, Fleet, FleetConfig, FleetMetrics, ModelKind,
-    NodeScheduler, NodeSpec, PlacementPolicy, QueuePolicy, ShardRouter, TenantSpec,
+    ArrivalStream, ChurnConfig, ChurnEvent, ChurnTrace, Fleet, FleetConfig, FleetMetrics,
+    ModelKind, NodeScheduler, NodeSpec, PlacementPolicy, QueuePolicy, ShardRouter, TenantSpec,
 };
 use sgprs_gpu_sim::GpuSpec;
 use sgprs_rt::{SimDuration, SimTime};
@@ -460,8 +460,31 @@ impl FleetScenario {
         }
     }
 
+    /// The scenario's offered load as an [`ArrivalStream`]: lazily
+    /// generated for [`TenantLoad::Churn`] (O(active-tenants) memory,
+    /// byte-identical events to [`FleetScenario::trace`]), materialised
+    /// for static populations and metro burst overlays (whose hand-built
+    /// waves have no generator form).
+    #[must_use]
+    pub fn arrivals(&self) -> ArrivalStream {
+        match &self.load {
+            TenantLoad::Churn(cfg) => ArrivalStream::generate(cfg, self.sim, self.seed),
+            TenantLoad::Static { .. } | TenantLoad::Metro { .. } => self.trace().into(),
+        }
+    }
+
+    /// Whether [`FleetScenario::run`] drives the fleet from the lazy
+    /// generator rather than a materialised trace.
+    #[must_use]
+    pub fn streams_arrivals(&self) -> bool {
+        matches!(self.load, TenantLoad::Churn(_))
+    }
+
     /// Runs the scenario and returns the fleet metrics (epoch-driven,
     /// or event-driven when [`FleetScenario::event_driven`] is set).
+    /// Churn loads stream their arrivals ([`FleetScenario::arrivals`]);
+    /// the metrics are byte-identical to replaying the materialised
+    /// [`FleetScenario::trace`].
     #[must_use]
     pub fn run(&self) -> FleetMetrics {
         let mut cfg = FleetConfig::new(self.nodes.clone())
@@ -489,7 +512,7 @@ impl FleetScenario {
         if let Some(window) = self.telemetry {
             cfg = cfg.with_telemetry_window(window);
         }
-        Fleet::new(cfg).run_configured(self.trace(), self.sim)
+        Fleet::new(cfg).run_configured(self.arrivals(), self.sim)
     }
 }
 

@@ -15,7 +15,10 @@
 //!   the cost model, and stage partitioning.
 //! * [`core`] — the SGPRS scheduler itself plus the naive and
 //!   reconfiguring baselines, with shared metrics.
-//! * [`cluster`] — the multi-GPU fleet: dispatching (flat, or two-level
+//! * [`cluster`] — the multi-GPU fleet: generator-driven arrival
+//!   streams (`cluster::ArrivalStream`, lazy pull in O(active-tenants)
+//!   memory, byte-identical to the materialised trace) feeding
+//!   dispatching (flat, or two-level
 //!   sharded via `cluster::ShardedFleet`, with `cluster::ShardRouter`
 //!   choosing the ordered shard scan or O(1) power-of-two-choices
 //!   routing for 512–1024-node fleets), utilisation-bound admission
@@ -24,8 +27,12 @@
 //!   deadline, weighted-fair with aging) with an fps re-pricing ladder
 //!   (admit degraded instead of rejecting, upgrade back in place as
 //!   capacity frees) and demand-aware expiry (provably hopeless waiters
-//!   drop early), tenant churn, migration (LIFO or demand-aware victim
-//!   selection), parallel per-epoch node execution with deterministic
+//!   drop early), tenant churn with names interned to dense `u32` ids
+//!   at the fleet boundary (`cluster::TenantInterner`: first-appearance
+//!   order, LIFO slot recycling, names resolved only at the JSON render
+//!   edge — the id table stays sized by the peak active population,
+//!   millions of tenants per run), migration (LIFO or demand-aware
+//!   victim selection), parallel per-epoch node execution with deterministic
 //!   metrics, and fleet-level metrics with a golden-pinned,
 //!   schema-versioned JSON export. Every dispatch decision lives in the
 //!   shared `cluster::policy` kernel, consumed identically by both

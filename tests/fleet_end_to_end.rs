@@ -6,9 +6,9 @@
 //! FIFO-reject on the overload burst.
 
 use sgprs_suite::cluster::{
-    AdmissionController, ChurnTrace, Fleet, FleetConfig, FleetMetricsBuilder, FleetNode,
-    ModelKind, NodeSpec, QueuePolicy, ShardedFleet, TelemetryConfig, TenantSpec,
-    BASE_SCHEMA_VERSION, METRICS_SCHEMA_VERSION,
+    AdmissionController, ArrivalStream, ChurnConfig, ChurnTrace, Fleet, FleetConfig,
+    FleetMetricsBuilder, FleetNode, ModelKind, NodeSpec, QueuePolicy, ShardedFleet,
+    TelemetryConfig, TenantSpec, BASE_SCHEMA_VERSION, METRICS_SCHEMA_VERSION,
 };
 use sgprs_suite::core::MetricsCollector;
 use sgprs_suite::gpu_sim::GpuSpec;
@@ -130,6 +130,107 @@ fn fleet_metrics_identical_across_workers_parallelism_and_dispatch() {
             }
         }
     }
+}
+
+/// The streaming tentpole pin: the generator-backed [`ArrivalStream`]
+/// must reproduce the pre-materialised trace byte-for-byte through the
+/// full fleet pipeline — the same 16-way matrix as above (workers
+/// {1, 2, 4, 8} × {sequential, parallel} × {flat, sharded}), every leg
+/// fed by a lazy stream, all collapsing onto the materialised
+/// sequential-flat reference. Churn scenarios stream by default now
+/// (`FleetScenario::run` never materialises the trace), so this is the
+/// guard that the default path and the classic path are the same path.
+#[test]
+fn streamed_arrivals_are_byte_identical_to_the_materialised_trace() {
+    let scenario = FleetScenario::heterogeneous_churn(4);
+    assert!(
+        scenario.streams_arrivals(),
+        "churn scenarios must take the generator-backed path"
+    );
+    // The reference run consumes the fully materialised trace.
+    let reference = Fleet::new(
+        FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .with_workers(1)
+            .sequential(),
+    )
+    .run(scenario.trace(), scenario.sim)
+    .to_json();
+    for workers in [1usize, 2, 4, 8] {
+        for parallel in [false, true] {
+            for sharded in [false, true] {
+                let mut cfg = FleetConfig::new(scenario.nodes.clone())
+                    .with_seed(scenario.seed)
+                    .with_workers(workers);
+                if !parallel {
+                    cfg = cfg.sequential();
+                }
+                if sharded {
+                    cfg = cfg.with_sharding(scenario.nodes.len());
+                }
+                let arrivals = scenario.arrivals();
+                assert!(arrivals.is_streaming(), "the lazy path must be exercised");
+                assert_eq!(
+                    Fleet::new(cfg).run(arrivals, scenario.sim).to_json(),
+                    reference,
+                    "workers={workers} parallel={parallel} sharded={sharded}: \
+                     streamed arrivals must be byte-identical to the \
+                     materialised reference"
+                );
+            }
+        }
+    }
+}
+
+/// The O(active) memory pin: the tenant-id table is sized by the peak
+/// *concurrently active* population, not by how many tenants the stream
+/// carried. Quadrupling the horizon multiplies the streamed arrivals but
+/// must leave the id capacity at the (unchanged) churn steady state —
+/// and LIFO recycling keeps `id_capacity == peak_active` exactly.
+#[test]
+fn id_table_is_bounded_by_active_tenants_not_trace_length() {
+    let churn = ChurnConfig {
+        mean_interarrival: SimDuration::from_millis(5),
+        min_lifetime: SimDuration::from_millis(50),
+        max_lifetime: SimDuration::from_millis(200),
+        max_wait: Some(SimDuration::from_millis(100)),
+        ..ChurnConfig::default()
+    };
+    let nodes: Vec<NodeSpec> = (0..8)
+        .map(|i| NodeSpec::sgprs(format!("gpu{i}"), GpuSpec::rtx_2080_ti()))
+        .collect();
+    let replay_for = |secs: u64| {
+        let horizon = SimDuration::from_secs(secs);
+        let mut fleet = Fleet::new(FleetConfig::new(nodes.clone()));
+        fleet.replay_dispatch(ArrivalStream::generate(&churn, horizon, 7), horizon)
+    };
+    let short = replay_for(5);
+    let long = replay_for(20);
+    assert!(
+        long.arrivals >= short.arrivals * 3,
+        "the long run must stream several times more tenants: {} vs {}",
+        long.arrivals,
+        short.arrivals
+    );
+    for replay in [&short, &long] {
+        assert_eq!(
+            replay.id_capacity, replay.peak_active,
+            "LIFO recycling must keep the table at the high-water mark: {replay:?}"
+        );
+    }
+    assert!(
+        long.id_capacity <= short.id_capacity * 2,
+        "id capacity tracks the (unchanged) active steady state, not the \
+         trace length: {} after {} arrivals vs {} after {}",
+        long.id_capacity,
+        long.arrivals,
+        short.id_capacity,
+        short.arrivals
+    );
+    assert!(
+        long.id_capacity < usize::try_from(long.arrivals).expect("fits") / 4,
+        "the table must stay far below one slot per streamed tenant: {long:?}"
+    );
 }
 
 /// The same matrix for genuinely multi-shard dispatch (2-node shards may
