@@ -1,0 +1,173 @@
+//! **Event-engine perf gate**: runs the metro-scale scenario on the
+//! event-driven engine with the span profiler armed, emits the
+//! machine-readable `BENCH_fleet_events_perf.json` sidecar, and — when
+//! `--baseline` points at a committed report — gates the deterministic
+//! counters (events simulated, allocs/event, per-span call counts)
+//! against it. Counters must match **exactly**; wall-clock fields only
+//! warn, so machine speed never fails CI.
+//!
+//! Usage:
+//!   `cargo run --release -p sgprs-bench --bin fleet_events_perf -- \
+//!       [--nodes N] [--sim-secs S] [--baseline PATH] [--write-baseline PATH]`
+
+use sgprs_bench::report::{gate_against_baseline, AllocStats, BenchReport, CountingAlloc};
+use sgprs_cluster::{Fleet, Span};
+use sgprs_rt::SimDuration;
+use sgprs_workload::FleetScenario;
+
+/// Count heap traffic so the report can gate allocs/event.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Defaults sized so the CI smoke finishes in seconds while still
+/// pushing six-figure event counts through the engine.
+const DEFAULT_NODES: usize = 256;
+/// Default simulated horizon in seconds.
+const DEFAULT_SIM_SECS: u64 = 4;
+/// Telemetry window — armed so the TelemetryFold span is exercised.
+const TELEMETRY_WINDOW: SimDuration = SimDuration::from_millis(250);
+/// Wall-clock drift tolerated before a (non-fatal) warning.
+const WALL_FACTOR: f64 = 10.0;
+
+struct Args {
+    nodes: usize,
+    sim_secs: u64,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+}
+
+fn parse(args: &[String]) -> Args {
+    let mut out = Args {
+        nodes: DEFAULT_NODES,
+        sim_secs: DEFAULT_SIM_SECS,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    out.nodes = v;
+                    i += 1;
+                }
+            }
+            "--sim-secs" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    out.sim_secs = v;
+                    i += 1;
+                }
+            }
+            "--baseline" => {
+                if let Some(v) = args.get(i + 1) {
+                    out.baseline = Some(v.clone());
+                    i += 1;
+                }
+            }
+            "--write-baseline" => {
+                if let Some(v) = args.get(i + 1) {
+                    out.write_baseline = Some(v.clone());
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out.nodes = out.nodes.max(1);
+    out.sim_secs = out.sim_secs.max(1);
+    out
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse(&argv);
+
+    // The gated workload: metro-scale heterogeneous fleet (p2c shard
+    // routing, earliest-deadline queues, repricing) on the event
+    // engine, with windowed telemetry so every profiled span fires.
+    let scenario = FleetScenario::metro_scale(args.nodes, args.sim_secs)
+        .with_event_driven()
+        .with_telemetry(TELEMETRY_WINDOW);
+
+    let mut fleet = Fleet::new(scenario.config().with_profiling());
+    let alloc_before = AllocStats::snapshot();
+    let started = std::time::Instant::now();
+    let metrics = fleet.run_configured(scenario.arrivals(), scenario.sim);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let alloc = AllocStats::snapshot().since(&alloc_before);
+
+    let profile = fleet
+        .span_profile()
+        .expect("the gated run ran with profiling armed");
+    let events = profile.calls(Span::EventPop) + profile.calls(Span::ArrivalPull);
+    let report = BenchReport::new(
+        "fleet_events_perf",
+        &scenario.label,
+        "event",
+        args.nodes as u64,
+        metrics.arrivals,
+        events,
+        wall_ms,
+        &profile,
+        alloc,
+    );
+
+    println!(
+        "fleet_events_perf: {} nodes, {} sim-secs — {} arrivals, {} events, \
+         {:.0} ms wall, {:.2} allocs/event, {:.0}k events/sec",
+        args.nodes,
+        args.sim_secs,
+        report.tenants,
+        report.events,
+        report.wall_ms,
+        report.allocs_per_event(),
+        report.events_per_sec / 1e3
+    );
+
+    match report.write_sidecar() {
+        Ok(name) => println!("wrote perf sidecar {name}"),
+        Err(e) => eprintln!("perf sidecar write failed: {e}"),
+    }
+
+    if let Some(path) = &args.write_baseline {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("wrote baseline {path}"),
+            Err(e) => {
+                eprintln!("baseline write failed for {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.baseline {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let outcome = gate_against_baseline(&report, &baseline, WALL_FACTOR);
+        for w in &outcome.warnings {
+            println!("WARN  {w}");
+        }
+        for f in &outcome.failures {
+            println!("FAIL  {f}");
+        }
+        if outcome.passed() {
+            println!(
+                "gate PASSED against {path}: all deterministic counters match \
+                 ({} warnings)",
+                outcome.warnings.len()
+            );
+        } else {
+            println!(
+                "gate FAILED against {path}: {} deterministic counter mismatch(es) — \
+                 if intentional, regenerate with --write-baseline {path}",
+                outcome.failures.len()
+            );
+            std::process::exit(1);
+        }
+    }
+}

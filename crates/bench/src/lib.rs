@@ -8,9 +8,18 @@
 //! * `headline_numbers` — the §V prose numbers (pivot points, plateaus,
 //!   FPS-drop percentages).
 //! * `ablation` — design-choice ablations beyond the paper.
+//!
+//! The fleet-scale bins (`fleet`, `fleet_stream`, `fleet_events_perf`)
+//! additionally emit machine-readable `BENCH_<bin>.json` perf sidecars
+//! through the shared [`report`] module — see its docs for the schema
+//! and the regression gate.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the counting global allocator in [`report`]
+// carries the one justified `#[allow(unsafe_code)]` in this crate.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
 
 use sgprs_workload::sweep::SweepSeries;
 

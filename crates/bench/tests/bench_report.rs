@@ -1,0 +1,149 @@
+//! Schema golden test for [`BenchReport`] plus round-trips of the
+//! targeted field readers and the regression gate's pass/fail split.
+//!
+//! The golden pin is deliberate coupling: the `BENCH_*.json` sidecar is
+//! a versioned machine-readable surface, so any rendering change must
+//! show up here and force a conscious `BENCH_REPORT_SCHEMA_VERSION`
+//! bump.
+
+use sgprs_bench::report::{
+    gate_against_baseline, json_f64, json_span_calls, json_str, json_u64, AllocStats, BenchReport,
+    BENCH_REPORT_SCHEMA_VERSION,
+};
+use sgprs_cluster::SpanProfile;
+
+/// A fully fixed report: default (all-zero) span profile, hand-picked
+/// counters, round wall time so the derived throughputs are exact.
+fn golden_report() -> BenchReport {
+    BenchReport::new(
+        "fleet",
+        "golden",
+        "event",
+        4,
+        100,
+        1_000,
+        250.0,
+        &SpanProfile::default(),
+        AllocStats {
+            allocs: 12_345,
+            deallocs: 12_000,
+            reallocs: 7,
+            bytes: 65_536,
+        },
+    )
+}
+
+const ZERO_HIST: &str = "[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]";
+
+#[test]
+fn report_json_matches_the_schema_golden() {
+    let expected = format!(
+        r#"{{
+  "schema_version": 1,
+  "bin": "fleet",
+  "scenario": "golden",
+  "engine": "event",
+  "nodes": 4,
+  "tenants": 100,
+  "events": 1000,
+  "wall_ms": 250.000,
+  "events_per_sec": 4000.0,
+  "arrivals_per_sec": 400.0,
+  "alloc": {{"allocs": 12345, "deallocs": 12000, "reallocs": 7, "bytes": 65536, "allocs_per_event": 12.3450}},
+  "spans": [
+    {{"span": "plan", "calls": 0, "wall_hist": {ZERO_HIST}}},
+    {{"span": "drain_scan", "calls": 0, "wall_hist": {ZERO_HIST}}},
+    {{"span": "event_pop", "calls": 0, "wall_hist": {ZERO_HIST}}},
+    {{"span": "event_exec", "calls": 0, "wall_hist": {ZERO_HIST}}},
+    {{"span": "epoch_compile", "calls": 0, "wall_hist": {ZERO_HIST}}},
+    {{"span": "telemetry_fold", "calls": 0, "wall_hist": {ZERO_HIST}}},
+    {{"span": "arrival_pull", "calls": 0, "wall_hist": {ZERO_HIST}}}
+  ]
+}}
+"#
+    );
+    assert_eq!(
+        golden_report().to_json(),
+        expected,
+        "schema drift: if intentional, bump BENCH_REPORT_SCHEMA_VERSION \
+         (currently {BENCH_REPORT_SCHEMA_VERSION}) and update this golden"
+    );
+}
+
+#[test]
+fn targeted_field_readers_round_trip_the_golden() {
+    let json = golden_report().to_json();
+    assert_eq!(json_u64(&json, "schema_version"), Some(1));
+    assert_eq!(json_str(&json, "bin").as_deref(), Some("fleet"));
+    assert_eq!(json_str(&json, "scenario").as_deref(), Some("golden"));
+    assert_eq!(json_str(&json, "engine").as_deref(), Some("event"));
+    assert_eq!(json_u64(&json, "nodes"), Some(4));
+    assert_eq!(json_u64(&json, "tenants"), Some(100));
+    assert_eq!(json_u64(&json, "events"), Some(1_000));
+    assert_eq!(json_u64(&json, "allocs"), Some(12_345));
+    assert_eq!(json_u64(&json, "bytes"), Some(65_536));
+    assert_eq!(json_f64(&json, "wall_ms"), Some(250.0));
+    assert_eq!(json_f64(&json, "events_per_sec"), Some(4_000.0));
+    assert_eq!(json_f64(&json, "allocs_per_event"), Some(12.345));
+    for span in ["plan", "event_pop", "arrival_pull"] {
+        assert_eq!(json_span_calls(&json, span), Some(0));
+    }
+    assert_eq!(json_span_calls(&json, "no_such_span"), None);
+    assert_eq!(json_u64(&json, "no_such_key"), None);
+}
+
+#[test]
+fn gate_passes_a_report_against_its_own_rendering() {
+    let report = golden_report();
+    let outcome = gate_against_baseline(&report, &report.to_json(), 10.0);
+    assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+    assert!(outcome.warnings.is_empty(), "warnings: {:?}", outcome.warnings);
+}
+
+#[test]
+fn gate_fails_hard_on_deterministic_counter_drift() {
+    let baseline = golden_report().to_json();
+
+    let mut drifted = golden_report();
+    drifted.events += 1;
+    let outcome = gate_against_baseline(&drifted, &baseline, 10.0);
+    assert!(!outcome.passed());
+    assert!(
+        outcome.failures.iter().any(|f| f.starts_with("events:")),
+        "failures: {:?}",
+        outcome.failures
+    );
+
+    let mut leaky = golden_report();
+    leaky.alloc.allocs += 100;
+    assert!(!gate_against_baseline(&leaky, &baseline, 10.0).passed());
+
+    let mut respanned = golden_report();
+    respanned.spans[0].calls = 5;
+    let outcome = gate_against_baseline(&respanned, &baseline, 10.0);
+    assert!(
+        outcome.failures.iter().any(|f| f.contains("span plan")),
+        "failures: {:?}",
+        outcome.failures
+    );
+
+    let mut renamed = golden_report();
+    renamed.engine = "epoch".to_string();
+    assert!(!gate_against_baseline(&renamed, &baseline, 10.0).passed());
+
+    let no_schema = baseline.replace("\"schema_version\": 1", "\"schema_version\": 999");
+    assert!(!gate_against_baseline(&golden_report(), &no_schema, 10.0).passed());
+}
+
+#[test]
+fn gate_only_warns_on_wall_clock_drift() {
+    let baseline = golden_report().to_json();
+    let mut slower = golden_report();
+    // 100x slower: far beyond the 10x factor, but wall-clock is a
+    // machine property — the gate must warn, never fail.
+    slower.wall_ms *= 100.0;
+    slower.events_per_sec /= 100.0;
+    let outcome = gate_against_baseline(&slower, &baseline, 10.0);
+    assert!(outcome.passed(), "failures: {:?}", outcome.failures);
+    assert_eq!(outcome.warnings.len(), 2, "warnings: {:?}", outcome.warnings);
+}

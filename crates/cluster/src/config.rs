@@ -129,6 +129,19 @@ impl FleetConfig {
         self
     }
 
+    /// Arms the span-scoped hot-path profiler for the run (see
+    /// [`crate::SpanProfile`] and [`crate::Fleet::span_profile`]).
+    /// Independent of telemetry: the simulated-fleet telemetry may stay
+    /// off while the simulator profiles itself. Off by default, and
+    /// provably zero-cost when off — the profiler is never constructed
+    /// and no wall clock is read. The deterministic JSON export is
+    /// byte-identical either way.
+    #[must_use]
+    pub fn with_profiling(mut self) -> Self {
+        self.telemetry.profiling = true;
+        self
+    }
+
     /// Disables the parallel per-epoch fan-out: nodes run one after
     /// another on the calling thread. The escape hatch for debugging and
     /// for determinism tests — metrics are bit-identical either way.

@@ -28,6 +28,7 @@ use super::{EventKind, EventQueue, NODE_FLEET};
 use crate::fleet::Fleet;
 use crate::interner::TenantId;
 use crate::policy::{self, FleetState};
+use crate::telemetry::Span;
 use crate::{ArrivalStream, ChurnEvent, DispatchOutcome, FleetMetrics, FleetMetricsBuilder};
 use sgprs_rt::{SimDuration, SimTime};
 use std::collections::HashSet;
@@ -190,11 +191,16 @@ impl Engine<'_> {
                 (None, None) => break,
             };
             if heap_wins {
+                let pop_clock = self.fleet.telemetry.prof_clock();
                 let ev = self
                     .events
                     .pop()
                     .expect("invariant: a peeked heap event exists");
+                self.fleet
+                    .telemetry
+                    .prof_record(Span::EventPop, pop_clock);
                 self.fleet.now = ev.time;
+                let exec_clock = self.fleet.telemetry.prof_clock();
                 match ev.kind {
                     EventKind::Arrival(tenant) => self.on_arrival(ev.time, *tenant),
                     EventKind::Departure(name) => self.on_departure(ev.time, &name),
@@ -214,11 +220,18 @@ impl Engine<'_> {
                     EventKind::QueueExpire => self.on_queue_expire(ev.time),
                     EventKind::Sample => self.on_sample(ev.time),
                 }
+                self.fleet
+                    .telemetry
+                    .prof_record(Span::EventExec, exec_clock);
             } else {
+                let pull_clock = self.fleet.telemetry.prof_clock();
                 let (t, event) = self
                     .arrivals
                     .next_event()
                     .expect("invariant: a peeked stream event exists");
+                self.fleet
+                    .telemetry
+                    .prof_record(Span::ArrivalPull, pull_clock);
                 self.events.note_stream_event();
                 self.fleet.now = t;
                 match event {

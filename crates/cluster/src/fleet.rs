@@ -74,7 +74,7 @@ use crate::interner::{TenantId, TenantInterner};
 use crate::policy::{self, DispatchPlanner, FleetState, PricedPlan, QueueAdmission};
 use crate::queue::DispatchQueue;
 use crate::shard::ShardDirectory;
-use crate::telemetry::{Telemetry, PLAN_LATENCY_BINS};
+use crate::telemetry::{Span, SpanProfile, Telemetry, PLAN_LATENCY_BINS};
 use crate::{
     AdmissionController, ArrivalStream, ChurnEvent, FleetConfig, FleetMetrics,
     FleetMetricsBuilder, FleetNode, TenantSpec,
@@ -320,7 +320,7 @@ impl Fleet {
     /// [`DispatchPlanner::plan_repriced`], honouring
     /// [`crate::QueueConfig::repricing`]).
     fn plan_repriced(&mut self, tenant: &TenantSpec) -> Option<PricedPlan> {
-        let clock = self.telemetry.plan_clock();
+        let clock = self.telemetry.prof_clock();
         let before = self.planner.probes();
         let plan = self.planner.plan_repriced(
             &FleetState::new(&self.nodes, &self.admission),
@@ -561,6 +561,7 @@ impl Fleet {
         }
         self.drain_scans += 1;
         self.telemetry.note_drain_scan();
+        let scan_clock = self.telemetry.prof_clock();
         while let Some(entry) = self.queue.pop_first(self.now) {
             let Some(plan) = self.plan_repriced(&entry.tenant) else {
                 // The head fits at no price: stop (no overtaking) and put
@@ -585,6 +586,7 @@ impl Fleet {
             });
             self.commit(id, idx, spec);
         }
+        self.telemetry.prof_record(Span::DrainScan, scan_clock);
         self.capacity_released = false;
         admitted
     }
@@ -833,30 +835,51 @@ impl Fleet {
 
     /// The wall-clock plan-latency histogram of the last finished run
     /// (log2 nanosecond buckets: bucket `i` counts plans that took
-    /// `[2^i, 2^(i+1))` ns, the last catching everything above). All
-    /// zeros when telemetry was off. Wall-clock is not deterministic, so
-    /// this lives outside [`FleetMetrics`] and its JSON export — see
+    /// `[2^i, 2^(i+1))` ns, the last catching everything above) — the
+    /// [`Span::Plan`] row of [`Fleet::span_profile`]. All zeros when
+    /// profiling was off. Wall-clock is not deterministic, so this lives
+    /// outside [`FleetMetrics`] and its JSON export — see
     /// [`crate::telemetry`].
     #[must_use]
     pub fn plan_latency_histogram(&self) -> [u64; PLAN_LATENCY_BINS] {
         self.telemetry.plan_latency_histogram()
     }
 
-    fn compiled_for(&mut self, tenant: &TenantSpec, node_idx: usize) -> CompiledTask {
-        let key = (
+    /// The span profile of the last finished run: per-span call counts
+    /// and wall-clock latency histograms over the simulator's own hot
+    /// paths. `None` unless the run was armed with
+    /// [`FleetConfig::with_profiling`] — the profiler is never even
+    /// constructed on the disabled path, which is the zero-cost
+    /// contract the end-to-end tests pin. Wall-clock is not
+    /// deterministic, so the profile lives outside [`FleetMetrics`] and
+    /// its JSON export; it feeds only the `BENCH_*.json` perf sidecars.
+    #[must_use]
+    pub fn span_profile(&self) -> Option<SpanProfile> {
+        self.telemetry.span_profile().cloned()
+    }
+
+    /// Cache key of one resident's compiled task on node `node_idx`.
+    fn compile_key(
+        tenant: &TenantSpec,
+        node_idx: usize,
+    ) -> (crate::ModelKind, usize, u64, usize) {
+        (
             tenant.model,
             tenant.stages,
             tenant.period().as_nanos(),
             node_idx,
-        );
-        let pool = self.nodes[node_idx].spec.pool();
-        let mut task = self
-            .compiled
-            .entry(key)
-            .or_insert_with(|| tenant.compile_for(&pool))
-            .clone();
-        task.spec.name = tenant.name.clone();
-        task
+        )
+    }
+
+    /// Warms the compile cache for resident `pos` of node `node_idx`
+    /// (the only part of task preparation that needs `&mut` state).
+    fn ensure_compiled(&mut self, node_idx: usize, pos: usize) {
+        let key = Self::compile_key(&self.nodes[node_idx].tenants[pos], node_idx);
+        if !self.compiled.contains_key(&key) {
+            let pool = self.nodes[node_idx].spec.pool();
+            let task = self.nodes[node_idx].tenants[pos].compile_for(&pool);
+            self.compiled.insert(key, task);
+        }
     }
 
     /// Runs the fleet over `arrivals` until `horizon`, returning the
@@ -926,9 +949,11 @@ impl Fleet {
                 if at >= epoch_end {
                     break;
                 }
+                let pull_clock = self.telemetry.prof_clock();
                 let (at, event) = arrivals
                     .next_event()
                     .expect("invariant: a peeked stream event exists");
+                self.telemetry.prof_record(Span::ArrivalPull, pull_clock);
                 match event {
                     ChurnEvent::Arrival(tenant) => {
                         let phase = at.duration_since(epoch_start);
@@ -954,8 +979,9 @@ impl Fleet {
             // `&self.nodes`.
             let mut epoch_dmr: Vec<f64> = vec![0.0; self.nodes.len()];
             let mut jobs: Vec<NodeEpochJob> = Vec::new();
-            // Indexing (not iterating `self.nodes`) because the body
-            // needs `&mut self` for the compiled-task cache.
+            let compile_clock = self.telemetry.prof_clock();
+            // Indexing (not iterating `self.nodes`) because the cache
+            // warm-up needs `&mut self` for the compiled-task cache.
             #[allow(clippy::needless_range_loop)]
             for idx in 0..self.nodes.len() {
                 let budget = self.admission.budget(&self.nodes[idx], None);
@@ -966,13 +992,24 @@ impl Fleet {
                 if self.nodes[idx].tenants.is_empty() {
                     continue;
                 }
-                let tenants = self.nodes[idx].tenants.clone();
-                let ids = self.node_ids[idx].clone();
-                let tasks: Vec<CompiledTask> = tenants
+                // Warm the compile cache first (the only `&mut` part),
+                // then build the tasks borrowing the resident list in
+                // place — no per-epoch clone of the node's tenant and id
+                // lists (each task clones only its own cached spec).
+                for pos in 0..self.nodes[idx].tenants.len() {
+                    self.ensure_compiled(idx, pos);
+                }
+                let tasks: Vec<CompiledTask> = self.nodes[idx]
+                    .tenants
                     .iter()
-                    .zip(&ids)
+                    .zip(&self.node_ids[idx])
                     .map(|(t, &id)| {
-                        let mut task = self.compiled_for(t, idx);
+                        let mut task = self
+                            .compiled
+                            .get(&Self::compile_key(t, idx))
+                            .expect("invariant: the compile cache was warmed for every resident")
+                            .clone();
+                        task.spec.name = t.name.clone();
                         task.spec.phase = self
                             .pending_phase
                             .get(id.index())
@@ -990,6 +1027,7 @@ impl Fleet {
                 jobs.push(NodeEpochJob { idx, tasks, seed });
             }
             self.pending_phase.fill(None);
+            self.telemetry.prof_record(Span::EpochCompile, compile_clock);
             // Nodes are independent within an epoch: fan out, then fold
             // in ascending node index so the metrics are bit-identical
             // to the sequential path.
@@ -1101,8 +1139,14 @@ impl Fleet {
         let mut arrivals = arrivals.into();
         let end = SimTime::ZERO + horizon;
         self.now = SimTime::ZERO;
+        self.telemetry.begin_profile();
         let mut replay = DispatchReplay::default();
-        while let Some((at, event)) = arrivals.next_event() {
+        loop {
+            let pull_clock = self.telemetry.prof_clock();
+            let Some((at, event)) = arrivals.next_event() else {
+                break;
+            };
+            self.telemetry.prof_record(Span::ArrivalPull, pull_clock);
             if at >= end {
                 break;
             }
@@ -1133,6 +1177,7 @@ impl Fleet {
         replay.peak_active = self.interner.peak_live();
         replay.id_capacity = self.interner.capacity();
         replay.final_active = self.interner.live();
+        self.telemetry.finish_profile();
         replay
     }
 

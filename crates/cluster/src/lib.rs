@@ -137,8 +137,8 @@ pub use metrics::{
 pub use node::{FleetNode, NodeScheduler, NodeSpec};
 pub use placement::{Placer, PlacementPolicy};
 pub use telemetry::{
-    ArrivalVerdict, ProfileReport, QuantileSketch, SketchSummary, TelemetryConfig,
-    TelemetryReport, TraceEvent, WindowReport, DEFAULT_SKETCH_CAPACITY, PLAN_LATENCY_BINS,
-    RANK_ERROR_NUMERATOR,
+    ArrivalVerdict, ProfileReport, QuantileSketch, SketchSummary, Span, SpanProfile, SpanStats,
+    TelemetryConfig, TelemetryReport, TraceEvent, WindowReport, DEFAULT_SKETCH_CAPACITY,
+    PLAN_LATENCY_BINS, RANK_ERROR_NUMERATOR, SPAN_COUNT,
 };
 pub use tenant::{ModelKind, TenantSpec};

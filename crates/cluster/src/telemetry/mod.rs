@@ -22,8 +22,14 @@
 //!   count, queue admission/expiry, re-pricing ladder steps, migration
 //!   victim/destination/stall, departures) plus hot-path profiling
 //!   counters. Deterministic counters land in the JSON profile block;
-//!   the wall-clock plan-latency histogram stays out of the export and
-//!   is read through [`crate::Fleet::plan_latency_histogram`].
+//!   wall-clock histograms stay out of the export and are read through
+//!   [`crate::Fleet::span_profile`] /
+//!   [`crate::Fleet::plan_latency_histogram`].
+//! * **Span profiler** ([`prof`]) — an independently armed
+//!   ([`crate::FleetConfig::with_profiling`]) wall-clock profiler over
+//!   the simulator's *own* hot paths ([`Span`]): per-span call counts
+//!   and log2 latency histograms, zero-cost when off, exported only via
+//!   the `BENCH_*.json` perf sidecars.
 //!
 //! Everything records on the single-threaded orchestration path of both
 //! engines (the epoch path's accounting helpers and fold loop, the
@@ -36,14 +42,17 @@
 //! renders byte-identical JSON to the pre-telemetry schema (see
 //! [`crate::METRICS_SCHEMA_VERSION`]).
 
+mod prof;
 mod sketch;
 mod trace;
 mod window;
 
+pub use prof::{Span, SpanProfile, SpanStats, PLAN_LATENCY_BINS, SPAN_COUNT};
 pub use sketch::{QuantileSketch, DEFAULT_SKETCH_CAPACITY, RANK_ERROR_NUMERATOR};
-pub use trace::{ArrivalVerdict, TraceEvent, PLAN_LATENCY_BINS};
+pub use trace::{ArrivalVerdict, TraceEvent};
 
 use crate::DispatchOutcome;
+use prof::SpanProfiler;
 use serde::{Deserialize, Serialize};
 use sgprs_rt::{SimDuration, SimTime};
 use trace::{ProfileCounters, TraceRing};
@@ -67,6 +76,11 @@ pub struct TelemetryConfig {
     /// Decision-trace ring capacity; 0 (the default) keeps the trace
     /// off even when telemetry is enabled.
     pub trace_capacity: usize,
+    /// Arms the span-scoped hot-path profiler ([`SpanProfile`]) for the
+    /// run. Independent of `enabled` — profiling works with the
+    /// simulated-fleet telemetry fully off — and off by default: the
+    /// profiler is never even constructed unless this is set.
+    pub profiling: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -84,6 +98,7 @@ impl TelemetryConfig {
             window: SimDuration::from_millis(250),
             sketch_capacity: DEFAULT_SKETCH_CAPACITY,
             trace_capacity: 0,
+            profiling: false,
         }
     }
 
@@ -107,6 +122,13 @@ impl TelemetryConfig {
     #[must_use]
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Arms the span-scoped hot-path profiler (see [`SpanProfile`]).
+    #[must_use]
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
         self
     }
 
@@ -322,9 +344,13 @@ impl TelemetryReport {
 pub(crate) struct Telemetry {
     cfg: TelemetryConfig,
     state: Option<State>,
-    /// Wall-clock plan-latency histogram of the last finished run (kept
+    /// The span profiler of the *current* run; `Some` only between
+    /// `begin_run`/`begin_profile` and `finish_profile` of a
+    /// profiling-armed run — never constructed otherwise.
+    prof: Option<SpanProfiler>,
+    /// The finished profile of the last profiling-armed run (kept
     /// outside the report: real time is not deterministic).
-    last_wall_hist: [u64; PLAN_LATENCY_BINS],
+    last_profile: Option<SpanProfile>,
 }
 
 #[derive(Debug)]
@@ -340,7 +366,8 @@ impl Telemetry {
         Telemetry {
             cfg,
             state: None,
-            last_wall_hist: [0; PLAN_LATENCY_BINS],
+            prof: None,
+            last_profile: None,
         }
     }
 
@@ -353,6 +380,7 @@ impl Telemetry {
     /// Arms the recorder for a run over `n_nodes` nodes until `horizon`.
     /// A no-op (and a disarm) when telemetry is off.
     pub(crate) fn begin_run(&mut self, n_nodes: usize, horizon: SimDuration) {
+        self.begin_profile();
         if !self.cfg.enabled {
             self.state = None;
             return;
@@ -367,27 +395,45 @@ impl Telemetry {
         });
     }
 
-    /// A wall clock for timing one plan, when telemetry wants it.
-    pub(crate) fn plan_clock(&self) -> Option<std::time::Instant> {
-        if self.state.is_some() {
-            Some(std::time::Instant::now())
-        } else {
-            None
+    /// Arms the span profiler alone (the non-`run` surfaces —
+    /// `replay_dispatch` — call this instead of `begin_run`). The
+    /// profiler is constructed *only* here and *only* when configured
+    /// on; the zero-cost-off contract hangs on that.
+    pub(crate) fn begin_profile(&mut self) {
+        self.prof = self.cfg.profiling.then(SpanProfiler::new);
+    }
+
+    /// A wall clock for timing one span: `Some` iff the profiler is
+    /// armed, so the disabled path never reads the clock.
+    pub(crate) fn prof_clock(&self) -> Option<std::time::Instant> {
+        self.prof.as_ref().map(|_| SpanProfiler::clock())
+    }
+
+    /// Ends one span measurement started at `clock` (a no-op whenever
+    /// either side is disarmed).
+    pub(crate) fn prof_record(&mut self, span: Span, clock: Option<std::time::Instant>) {
+        if let (Some(prof), Some(started)) = (self.prof.as_mut(), clock) {
+            prof.record(span, started);
+        }
+    }
+
+    /// Snapshots the current run's profile into [`Self::span_profile`].
+    /// `finish_report` calls it; `replay_dispatch` calls it directly.
+    pub(crate) fn finish_profile(&mut self) {
+        if let Some(prof) = self.prof.take() {
+            self.last_profile = Some(prof.into_profile());
         }
     }
 
     /// Accounts one `plan_repriced` invocation: the shard probes it
-    /// spent and (when `clock` was armed) its wall-clock latency.
+    /// spent (telemetry) and, when `clock` was armed, its wall-clock
+    /// latency (the [`Span::Plan`] span).
     pub(crate) fn note_plan(&mut self, probes: u64, clock: Option<std::time::Instant>) {
-        let Some(state) = self.state.as_mut() else {
-            return;
-        };
-        state.profile.plans += 1;
-        state.profile.shard_probes += probes;
-        if let Some(clock) = clock {
-            let nanos = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            state.profile.record_plan_wall(nanos);
+        if let Some(state) = self.state.as_mut() {
+            state.profile.plans += 1;
+            state.profile.shard_probes += probes;
         }
+        self.prof_record(Span::Plan, clock);
     }
 
     /// Accounts one drain pass that actually scanned the queue.
@@ -598,19 +644,38 @@ impl Telemetry {
         }
     }
 
-    /// The wall-clock plan-latency histogram of the last finished run
-    /// (log2 nanosecond buckets; all zeros when telemetry was off).
-    pub(crate) fn plan_latency_histogram(&self) -> [u64; PLAN_LATENCY_BINS] {
-        self.last_wall_hist
+    /// The span profile of the last finished run (`None` when profiling
+    /// was off — the profiler is never constructed on that path).
+    pub(crate) fn span_profile(&self) -> Option<&SpanProfile> {
+        self.last_profile.as_ref()
     }
 
-    /// Finalises the run into a [`TelemetryReport`] (or `None` when
-    /// telemetry was off), merging the per-window wait sketches in
-    /// window order and the per-node latency sketches in ascending node
-    /// index — the deterministic fold.
+    /// The wall-clock plan-latency histogram of the last finished run —
+    /// the [`Span::Plan`] row of [`Self::span_profile`] (all zeros when
+    /// profiling was off).
+    pub(crate) fn plan_latency_histogram(&self) -> [u64; PLAN_LATENCY_BINS] {
+        self.last_profile
+            .as_ref()
+            .map(|p| *p.wall_hist(Span::Plan))
+            .unwrap_or([0; PLAN_LATENCY_BINS])
+    }
+
+    /// Finalises the run: folds the telemetry into a [`TelemetryReport`]
+    /// (or `None` when telemetry was off) and snapshots the span
+    /// profile.
     pub(crate) fn finish_report(&mut self) -> Option<TelemetryReport> {
+        let report = self.fold_report();
+        self.finish_profile();
+        report
+    }
+
+    /// The report fold proper, timed as the [`Span::TelemetryFold`]
+    /// span: merges the per-window wait sketches in window order and the
+    /// per-node latency sketches in ascending node index — the
+    /// deterministic fold.
+    fn fold_report(&mut self) -> Option<TelemetryReport> {
         let state = self.state.take()?;
-        self.last_wall_hist = state.profile.plan_wall_hist;
+        let fold_clock = self.prof_clock();
         let window = state.series.window();
         let mut queue_wait = QuantileSketch::new(self.cfg.sketch_capacity);
         // Window order — the deterministic fold.
@@ -629,7 +694,7 @@ impl Telemetry {
             .enumerate()
             .map(|(i, w)| window_report(i, window, w))
             .collect();
-        Some(TelemetryReport {
+        let report = TelemetryReport {
             window_secs: window.as_secs_f64(),
             windows,
             queue_wait: SketchSummary::from_sketch(&queue_wait),
@@ -644,7 +709,9 @@ impl Telemetry {
             },
             trace_enabled: self.cfg.trace_capacity > 0,
             trace: state.trace.events().map(TraceEvent::render).collect(),
-        })
+        };
+        self.prof_record(Span::TelemetryFold, fold_clock);
+        Some(report)
     }
 }
 
@@ -749,9 +816,10 @@ mod tests {
 
     #[test]
     fn note_plan_accumulates_probes_and_wall_time() {
-        let mut t = Telemetry::new(TelemetryConfig::windowed(SimDuration::from_millis(250)));
+        let cfg = TelemetryConfig::windowed(SimDuration::from_millis(250)).with_profiling();
+        let mut t = Telemetry::new(cfg);
         t.begin_run(1, SimDuration::from_secs(1));
-        let clock = t.plan_clock();
+        let clock = t.prof_clock();
         assert!(clock.is_some());
         t.note_plan(3, clock);
         t.note_plan(2, None);
@@ -760,5 +828,36 @@ mod tests {
         assert_eq!(r.profile.shard_probes, 5);
         let hist = t.plan_latency_histogram();
         assert_eq!(hist.iter().sum::<u64>(), 1, "one timed plan landed");
+        let profile = t.span_profile().expect("profiling was armed");
+        assert_eq!(profile.calls(Span::Plan), 1, "only the clocked plan spans");
+        assert_eq!(
+            profile.calls(Span::TelemetryFold),
+            1,
+            "the report fold timed itself"
+        );
+    }
+
+    #[test]
+    fn profiler_arms_without_telemetry_and_never_constructs_when_off() {
+        // Profiling alone: no telemetry state, no report — but spans land.
+        let mut t = Telemetry::new(TelemetryConfig::disabled().with_profiling());
+        t.begin_run(1, SimDuration::from_secs(1));
+        let clock = t.prof_clock();
+        assert!(clock.is_some(), "profiler armed without telemetry");
+        t.prof_record(Span::EventPop, clock);
+        t.note_plan(7, t.prof_clock());
+        assert!(t.finish_report().is_none(), "telemetry stays off");
+        let profile = t.span_profile().expect("profile survives a report-less run");
+        assert_eq!(profile.calls(Span::EventPop), 1);
+        assert_eq!(profile.calls(Span::Plan), 1);
+        assert_eq!(profile.calls(Span::TelemetryFold), 0, "no fold ran");
+
+        // Fully off: the profiler is never constructed and no clock is read.
+        let mut off = Telemetry::new(TelemetryConfig::windowed(SimDuration::from_millis(250)));
+        off.begin_run(1, SimDuration::from_secs(1));
+        assert!(off.prof_clock().is_none(), "no clock without profiling");
+        assert!(off.finish_report().is_some());
+        assert!(off.span_profile().is_none(), "profiler never constructed");
+        assert_eq!(off.plan_latency_histogram(), [0; PLAN_LATENCY_BINS]);
     }
 }

@@ -1,0 +1,226 @@
+//! The span-scoped hot-path profiler: the simulator observing *itself*.
+//!
+//! Where the rest of [`crate::telemetry`] measures the simulated fleet,
+//! this module measures the simulator's own hot paths: a fixed set of
+//! [`Span`]s (placement planning, queue drains, event-queue pops, event
+//! execution, epoch task compilation, the telemetry fold, and stream
+//! pulls), each accumulating a call count and a log2-bucket wall-clock
+//! latency histogram.
+//!
+//! Two properties keep it inside the determinism contract
+//! (DETERMINISM.md, "wall-clock surfaces"):
+//!
+//! * **Zero-cost when off.** The [`SpanProfiler`] is constructed only
+//!   when [`crate::FleetConfig::with_profiling`] armed it for the run;
+//!   every hook threads an `Option` that is `None` otherwise, so the
+//!   disabled path does no clock reads and allocates nothing.
+//! * **Sidecar-only export.** Span call counts are deterministic (they
+//!   count deterministic code paths), but the histograms are real time.
+//!   Neither ever enters [`crate::FleetMetrics::to_json`]; they are read
+//!   through [`crate::Fleet::span_profile`] and land only in the
+//!   `BENCH_*.json` perf sidecars.
+//!
+//! This file is one of the two cluster-side entries on the sgprs-lint
+//! D002 wall-clock allowlist — the only place outside
+//! `telemetry/mod.rs` where the cluster crate may read `Instant::now`.
+
+/// Number of log2 buckets in every span's wall-clock latency histogram:
+/// bucket `i` counts calls that took `[2^i, 2^(i+1))` nanoseconds, with
+/// the last bucket catching everything from `2^15` ns (~33 µs) up.
+pub const PLAN_LATENCY_BINS: usize = 16;
+
+/// Number of profiled [`Span`]s.
+pub const SPAN_COUNT: usize = 7;
+
+/// The fixed set of profiled simulator hot paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Span {
+    /// One `plan_repriced` invocation — the placement scan, flat or
+    /// sharded/p2c (this span generalises the original one-off
+    /// plan-latency histogram).
+    Plan = 0,
+    /// One wait-queue drain pass that actually scanned the queue.
+    DrainScan = 1,
+    /// One event popped off the event queue (event engine).
+    EventPop = 2,
+    /// One popped event executed by its handler (event engine).
+    EventExec = 3,
+    /// One epoch's compiled-task preparation across all nodes (epoch
+    /// engine) — the span that demonstrates the resident-list clone
+    /// hoist.
+    EpochCompile = 4,
+    /// The deterministic sketch/window fold in `finish_report` at the
+    /// end of a telemetry-armed run.
+    TelemetryFold = 5,
+    /// One arrival/departure consumed from the (possibly
+    /// generator-backed, interner-fed) arrival stream.
+    ArrivalPull = 6,
+}
+
+impl Span {
+    /// Every span, in the fixed rendering order used by bench reports.
+    pub const ALL: [Span; SPAN_COUNT] = [
+        Span::Plan,
+        Span::DrainScan,
+        Span::EventPop,
+        Span::EventExec,
+        Span::EpochCompile,
+        Span::TelemetryFold,
+        Span::ArrivalPull,
+    ];
+
+    /// The span's stable lower-snake label (bench reports key on it).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Span::Plan => "plan",
+            Span::DrainScan => "drain_scan",
+            Span::EventPop => "event_pop",
+            Span::EventExec => "event_exec",
+            Span::EpochCompile => "epoch_compile",
+            Span::TelemetryFold => "telemetry_fold",
+            Span::ArrivalPull => "arrival_pull",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One span's accumulated stats: how often it ran and where its
+/// wall-clock latencies landed (log2 nanosecond buckets).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Times the span executed. Deterministic: a pure function of
+    /// `(config, trace, horizon)`, which is what lets bench baselines
+    /// gate on it exactly.
+    pub calls: u64,
+    /// Wall-clock latency histogram, log2 nanosecond buckets. *Not*
+    /// deterministic — never exported on a deterministic surface.
+    pub wall_hist: [u64; PLAN_LATENCY_BINS],
+}
+
+/// The finished profile of one run: per-span stats for every [`Span`].
+///
+/// Obtained from [`crate::Fleet::span_profile`] after a run that was
+/// armed with [`crate::FleetConfig::with_profiling`]; `None` otherwise —
+/// which is also the test hook proving the profiler was never
+/// constructed on the disabled path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanProfile {
+    spans: [SpanStats; SPAN_COUNT],
+}
+
+impl SpanProfile {
+    /// The stats of one span.
+    #[must_use]
+    pub fn stats(&self, span: Span) -> &SpanStats {
+        &self.spans[span.index()]
+    }
+
+    /// How many times the span executed (deterministic).
+    #[must_use]
+    pub fn calls(&self, span: Span) -> u64 {
+        self.spans[span.index()].calls
+    }
+
+    /// The span's wall-clock latency histogram (log2 ns buckets).
+    #[must_use]
+    pub fn wall_hist(&self, span: Span) -> &[u64; PLAN_LATENCY_BINS] {
+        &self.spans[span.index()].wall_hist
+    }
+
+    /// Total calls across all spans.
+    #[must_use]
+    pub fn total_calls(&self) -> u64 {
+        self.spans.iter().map(|s| s.calls).sum()
+    }
+}
+
+/// The live recorder. Constructed **only** when a run is armed with
+/// profiling; the disabled path never instantiates it.
+#[derive(Debug, Default)]
+pub(crate) struct SpanProfiler {
+    profile: SpanProfile,
+}
+
+impl SpanProfiler {
+    pub(crate) fn new() -> Self {
+        SpanProfiler::default()
+    }
+
+    /// Starts one span measurement. The only `Instant::now` read in the
+    /// cluster crate outside `telemetry/mod.rs` (D002-allowlisted).
+    pub(crate) fn clock() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+
+    /// Ends one span measurement started at `started`.
+    pub(crate) fn record(&mut self, span: Span, started: std::time::Instant) {
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let stats = &mut self.profile.spans[span.index()];
+        stats.calls += 1;
+        stats.wall_hist[log2_bin(nanos)] += 1;
+    }
+
+    /// Finalises the run into its immutable [`SpanProfile`].
+    pub(crate) fn into_profile(self) -> SpanProfile {
+        self.profile
+    }
+}
+
+/// The log2 bucket of a nanosecond latency: 0 and 1 share bucket 0,
+/// everything from `2^(BINS-1)` ns up lands in the overflow bucket.
+fn log2_bin(nanos: u64) -> usize {
+    (64 - nanos.leading_zeros() as usize)
+        .saturating_sub(1)
+        .min(PLAN_LATENCY_BINS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_wall_histogram_buckets_by_log2() {
+        let mut p = SpanProfiler::new();
+        let clock = SpanProfiler::clock();
+        p.record(Span::Plan, clock);
+        let profile = p.into_profile();
+        assert_eq!(profile.calls(Span::Plan), 1);
+        assert_eq!(profile.wall_hist(Span::Plan).iter().sum::<u64>(), 1);
+        assert_eq!(profile.calls(Span::EventPop), 0);
+        assert_eq!(profile.total_calls(), 1);
+    }
+
+    #[test]
+    fn log2_bins_match_the_documented_edges() {
+        assert_eq!(log2_bin(0), 0, "0 and 1 share the first bucket");
+        assert_eq!(log2_bin(1), 0);
+        assert_eq!(log2_bin(2), 1);
+        assert_eq!(log2_bin(3), 1);
+        assert_eq!(log2_bin(1 << 10), 10);
+        assert_eq!(log2_bin(u64::MAX), PLAN_LATENCY_BINS - 1, "overflow bin");
+    }
+
+    #[test]
+    fn span_names_and_order_are_stable() {
+        let names: Vec<&str> = Span::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "plan",
+                "drain_scan",
+                "event_pop",
+                "event_exec",
+                "epoch_compile",
+                "telemetry_fold",
+                "arrival_pull"
+            ]
+        );
+        for (i, s) in Span::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "ALL order matches the discriminants");
+        }
+    }
+}

@@ -10,20 +10,15 @@
 //! the profile block. All recording happens on the single-threaded
 //! orchestration path, so the trace is deterministic.
 //!
-//! The profile counters are split in two: deterministic counters (plan
+//! The profile counters here are the *deterministic* ones (plan
 //! invocations, shard probes, drain scans, event-queue operations, trace
-//! drops) go into the JSON export, while the *wall-clock* plan-latency
-//! histogram is kept out of it — real time is not a function of
-//! `(config, trace, horizon)` — and is exposed separately through
-//! [`crate::Fleet::plan_latency_histogram`].
+//! drops); they go into the JSON export. Wall-clock measurement lives in
+//! the sibling [`super::prof`] module — real time is not a function of
+//! `(config, trace, horizon)` and is exposed separately through
+//! [`crate::Fleet::span_profile`].
 
 use sgprs_rt::{SimDuration, SimTime};
 use std::collections::VecDeque;
-
-/// Number of log2 buckets in the wall-clock plan-latency histogram:
-/// bucket `i` counts plans that took `[2^i, 2^(i+1))` nanoseconds, with
-/// the last bucket catching everything from `2^15` ns (~33 µs) up.
-pub const PLAN_LATENCY_BINS: usize = 16;
 
 /// Why (and where) an arrival ended up — the dispatch verdict with its
 /// cause, mirroring [`crate::DispatchOutcome`] in a form the trace can
@@ -251,9 +246,8 @@ impl TraceRing {
     }
 }
 
-/// Hot-path profiling counters. The deterministic ones land in the JSON
-/// profile block; `plan_wall_hist` is wall-clock (log2 ns buckets) and
-/// deliberately excluded from the export — see the module docs.
+/// Deterministic hot-path profiling counters; they land in the JSON
+/// profile block. Wall-clock span histograms live in [`super::prof`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct ProfileCounters {
     /// `plan_repriced` invocations (arrival dispatch + queue drains).
@@ -265,18 +259,6 @@ pub(crate) struct ProfileCounters {
     pub(crate) drain_scans: u64,
     /// Event-queue pushes + pops (event engine only).
     pub(crate) event_queue_ops: u64,
-    /// Wall-clock plan latency, log2 nanosecond buckets.
-    pub(crate) plan_wall_hist: [u64; PLAN_LATENCY_BINS],
-}
-
-impl ProfileCounters {
-    /// Folds one wall-clock plan latency into the histogram.
-    pub(crate) fn record_plan_wall(&mut self, nanos: u64) {
-        let bin = (64 - nanos.leading_zeros() as usize)
-            .saturating_sub(1)
-            .min(PLAN_LATENCY_BINS - 1);
-        self.plan_wall_hist[bin] += 1;
-    }
 }
 
 #[cfg(test)]
@@ -338,20 +320,5 @@ mod tests {
             stall: SimDuration::ZERO,
         };
         assert_eq!(m.render(), "0.250s migrate t: node 1 -> nowhere (failed)");
-    }
-
-    #[test]
-    fn plan_wall_histogram_buckets_by_log2() {
-        let mut p = ProfileCounters::default();
-        p.record_plan_wall(0);
-        p.record_plan_wall(1);
-        p.record_plan_wall(2);
-        p.record_plan_wall(3);
-        p.record_plan_wall(1 << 10);
-        p.record_plan_wall(u64::MAX);
-        assert_eq!(p.plan_wall_hist[0], 2, "0 and 1 share the first bucket");
-        assert_eq!(p.plan_wall_hist[1], 2, "2 and 3");
-        assert_eq!(p.plan_wall_hist[10], 1);
-        assert_eq!(p.plan_wall_hist[PLAN_LATENCY_BINS - 1], 1, "overflow bin");
     }
 }

@@ -71,6 +71,34 @@ fn d002_fires_on_wall_clock_and_respects_the_allowlist() {
 }
 
 #[test]
+fn d002_allowlists_the_profiler_and_bench_report_but_not_other_cluster_modules() {
+    // The two PR-9 profiling surfaces are allowlisted...
+    for allowed in [
+        "crates/cluster/src/telemetry/prof.rs",
+        "crates/bench/src/report.rs",
+    ] {
+        let diags = scan_fixture("d002", "bad", allowed);
+        assert!(
+            diags.is_empty(),
+            "{allowed} is an allowlisted profiling surface: {diags:?}"
+        );
+    }
+    // ...but a wall-clock read in any *other* cluster module still
+    // fires: the allowlist names files, it does not open the crate.
+    for hot in [
+        "crates/cluster/src/fleet.rs",
+        "crates/cluster/src/stream.rs",
+        "crates/cluster/src/telemetry/sketch.rs",
+    ] {
+        let diags = scan_fixture("d002", "bad", hot);
+        assert!(
+            diags.iter().filter(|d| d.rule == "D002").count() >= 3,
+            "a wall-clock read in {hot} must keep firing: {diags:?}"
+        );
+    }
+}
+
+#[test]
 fn d003_fires_on_ambient_randomness_and_not_on_seeded() {
     // `thread_rng` and `from_entropy`.
     assert_fires("d003", DET_HOT, "D003", 2);

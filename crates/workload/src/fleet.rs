@@ -480,13 +480,14 @@ impl FleetScenario {
         matches!(self.load, TenantLoad::Churn(_))
     }
 
-    /// Runs the scenario and returns the fleet metrics (epoch-driven,
-    /// or event-driven when [`FleetScenario::event_driven`] is set).
-    /// Churn loads stream their arrivals ([`FleetScenario::arrivals`]);
-    /// the metrics are byte-identical to replaying the materialised
-    /// [`FleetScenario::trace`].
+    /// The scenario lowered to its [`FleetConfig`] — what
+    /// [`FleetScenario::run`] constructs internally, exposed so callers
+    /// that need the [`Fleet`] handle afterwards (the bench bins read
+    /// [`Fleet::span_profile`] post-run) can build it themselves,
+    /// optionally arming knobs the scenario does not model
+    /// (e.g. [`FleetConfig::with_profiling`]).
     #[must_use]
-    pub fn run(&self) -> FleetMetrics {
+    pub fn config(&self) -> FleetConfig {
         let mut cfg = FleetConfig::new(self.nodes.clone())
             .with_placement(self.placement)
             .with_seed(self.seed)
@@ -512,7 +513,17 @@ impl FleetScenario {
         if let Some(window) = self.telemetry {
             cfg = cfg.with_telemetry_window(window);
         }
-        Fleet::new(cfg).run_configured(self.arrivals(), self.sim)
+        cfg
+    }
+
+    /// Runs the scenario and returns the fleet metrics (epoch-driven,
+    /// or event-driven when [`FleetScenario::event_driven`] is set).
+    /// Churn loads stream their arrivals ([`FleetScenario::arrivals`]);
+    /// the metrics are byte-identical to replaying the materialised
+    /// [`FleetScenario::trace`].
+    #[must_use]
+    pub fn run(&self) -> FleetMetrics {
+        Fleet::new(self.config()).run_configured(self.arrivals(), self.sim)
     }
 }
 

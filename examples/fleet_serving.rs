@@ -80,7 +80,10 @@ fn main() {
             .with_queue_policy(QueuePolicy::EarliestDeadline)
             .with_repricing()
             .with_telemetry(
-                TelemetryConfig::windowed(SimDuration::from_millis(250)).with_trace(6),
+                TelemetryConfig::windowed(SimDuration::from_millis(250))
+                    .with_trace(6)
+                    // Profiling feeds the plan-latency histogram below.
+                    .with_profiling(),
             ),
     );
     let traced_m = traced_fleet.run(smart.trace(), smart.sim);

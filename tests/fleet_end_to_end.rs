@@ -7,7 +7,7 @@
 
 use sgprs_suite::cluster::{
     AdmissionController, ArrivalStream, ChurnConfig, ChurnTrace, Fleet, FleetConfig,
-    FleetMetricsBuilder, FleetNode, ModelKind, NodeSpec, QueuePolicy, ShardedFleet,
+    FleetMetricsBuilder, FleetNode, ModelKind, NodeSpec, QueuePolicy, ShardedFleet, Span,
     TelemetryConfig, TenantSpec, BASE_SCHEMA_VERSION, METRICS_SCHEMA_VERSION,
 };
 use sgprs_suite::core::MetricsCollector;
@@ -744,5 +744,102 @@ fn metro_telemetry_is_byte_identical_across_workers_in_both_engines() {
             event_reference,
             "workers={workers}: the event engine's telemetry is worker-inert"
         );
+    }
+}
+
+/// The span profiler's two-sided contract: **zero-cost off** — a run
+/// without [`FleetConfig::with_profiling`] never constructs the
+/// profiler, observable as `span_profile() == None` — and **inert on** —
+/// arming it changes no deterministic byte, while the captured profile
+/// shows exactly the spans the chosen engine executes.
+#[test]
+fn span_profiler_is_zero_cost_off_and_inert_on() {
+    let scenario = FleetScenario::heterogeneous_churn(4);
+    let cfg = || {
+        FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .sequential()
+    };
+
+    // Off: the profiler is never constructed — not "constructed but
+    // empty". `None` is the proof the disabled path took no clock reads.
+    let mut plain = Fleet::new(cfg());
+    let plain_json = plain.run(scenario.trace(), scenario.sim).to_json();
+    assert!(
+        plain.span_profile().is_none(),
+        "an unprofiled run must never construct the SpanProfiler"
+    );
+
+    // On, epoch engine: identical bytes, and the profile sees the epoch
+    // spans (plan, epoch_compile) but no event-engine spans.
+    let mut profiled = Fleet::new(cfg().with_profiling());
+    let profiled_json = profiled.run(scenario.trace(), scenario.sim).to_json();
+    assert_eq!(profiled_json, plain_json, "profiling must not steer the simulation");
+    let profile = profiled.span_profile().expect("armed run captures a profile");
+    assert!(profile.calls(Span::Plan) > 0, "placements were planned");
+    assert!(profile.calls(Span::EpochCompile) > 0, "epochs were compiled");
+    assert_eq!(profile.calls(Span::EventPop), 0, "no event queue on the epoch engine");
+    assert_eq!(
+        profile.stats(Span::Plan).wall_hist.iter().sum::<u64>(),
+        profile.calls(Span::Plan),
+        "every recorded call lands in exactly one histogram bucket"
+    );
+
+    // On, event engine: same story with the event spans populated.
+    let plain_event = Fleet::new(cfg())
+        .run_events(scenario.trace(), scenario.sim)
+        .to_json();
+    let mut profiled_event_fleet = Fleet::new(cfg().with_profiling());
+    let profiled_event = profiled_event_fleet
+        .run_events(scenario.trace(), scenario.sim)
+        .to_json();
+    assert_eq!(profiled_event, plain_event);
+    let event_profile = profiled_event_fleet.span_profile().expect("profile captured");
+    assert!(event_profile.calls(Span::EventPop) > 0, "events were popped");
+    assert_eq!(
+        event_profile.calls(Span::EventExec),
+        event_profile.calls(Span::EventPop),
+        "every popped event was executed"
+    );
+    assert!(event_profile.calls(Span::ArrivalPull) > 0, "arrivals were pulled");
+}
+
+/// The profiling-armed determinism matrix: with the span profiler on,
+/// the `FleetMetrics` JSON stays byte-identical across workers
+/// {1, 2, 4, 8} × {sequential, parallel} × {flat, sharded} — and equal
+/// to the *unprofiled* sequential-flat reference, so the profiler
+/// provably never leaks wall-clock into a deterministic surface.
+#[test]
+fn profiled_matrix_is_byte_identical_across_workers_parallelism_and_dispatch() {
+    let scenario = FleetScenario::heterogeneous_churn(4);
+    let run = |parallel: bool, workers: usize, sharded: bool, profiled: bool| {
+        let mut cfg = FleetConfig::new(scenario.nodes.clone())
+            .with_seed(scenario.seed)
+            .with_workers(workers);
+        if profiled {
+            cfg = cfg.with_profiling();
+        }
+        if !parallel {
+            cfg = cfg.sequential();
+        }
+        if sharded {
+            cfg = cfg.with_sharding(scenario.nodes.len());
+        }
+        Fleet::new(cfg).run(scenario.trace(), scenario.sim).to_json()
+    };
+    // The reference runs with profiling OFF: every profiled leg below
+    // must match it exactly.
+    let reference = run(false, 1, false, false);
+    for workers in [1usize, 2, 4, 8] {
+        for parallel in [false, true] {
+            for sharded in [false, true] {
+                assert_eq!(
+                    run(parallel, workers, sharded, true),
+                    reference,
+                    "workers={workers} parallel={parallel} sharded={sharded}: \
+                     an armed profiler must not perturb the deterministic export"
+                );
+            }
+        }
     }
 }
