@@ -6,12 +6,21 @@
 //! against it. Counters must match **exactly**; wall-clock fields only
 //! warn, so machine speed never fails CI.
 //!
+//! `--raw` runs the same scenario with **no profiling and no
+//! telemetry**: the hot loop does zero clock reads, the event count
+//! comes from the engine's unconditional processed counter
+//! ([`Fleet::events_processed`]), and the report carries an all-zero
+//! span profile. This is the honest configuration for wall-clock
+//! claims (at 10k nodes the profiler's four `Instant` reads per event
+//! cost more than the event itself) — the fleet-scale gate runs
+//! `--nodes 10000 --raw` against `bench/baseline_10k.json`.
+//!
 //! Usage:
 //!   `cargo run --release -p sgprs-bench --bin fleet_events_perf -- \
-//!       [--nodes N] [--sim-secs S] [--baseline PATH] [--write-baseline PATH]`
+//!       [--nodes N] [--sim-secs S] [--raw] [--baseline PATH] [--write-baseline PATH]`
 
 use sgprs_bench::report::{gate_against_baseline, AllocStats, BenchReport, CountingAlloc};
-use sgprs_cluster::{Fleet, Span};
+use sgprs_cluster::{Fleet, Span, SpanProfile};
 use sgprs_rt::SimDuration;
 use sgprs_workload::FleetScenario;
 
@@ -32,6 +41,7 @@ const WALL_FACTOR: f64 = 10.0;
 struct Args {
     nodes: usize,
     sim_secs: u64,
+    raw: bool,
     baseline: Option<String>,
     write_baseline: Option<String>,
 }
@@ -40,6 +50,7 @@ fn parse(args: &[String]) -> Args {
     let mut out = Args {
         nodes: DEFAULT_NODES,
         sim_secs: DEFAULT_SIM_SECS,
+        raw: false,
         baseline: None,
         write_baseline: None,
     };
@@ -58,6 +69,7 @@ fn parse(args: &[String]) -> Args {
                     i += 1;
                 }
             }
+            "--raw" => out.raw = true,
             "--baseline" => {
                 if let Some(v) = args.get(i + 1) {
                     out.baseline = Some(v.clone());
@@ -85,24 +97,42 @@ fn main() {
 
     // The gated workload: metro-scale heterogeneous fleet (p2c shard
     // routing, earliest-deadline queues, repricing) on the event
-    // engine, with windowed telemetry so every profiled span fires.
-    let scenario = FleetScenario::metro_scale(args.nodes, args.sim_secs)
-        .with_event_driven()
-        .with_telemetry(TELEMETRY_WINDOW);
+    // engine — with windowed telemetry so every profiled span fires,
+    // unless `--raw` strips all instrumentation for an honest
+    // wall-clock measurement.
+    let mut scenario = FleetScenario::metro_scale(args.nodes, args.sim_secs).with_event_driven();
+    if !args.raw {
+        scenario = scenario.with_telemetry(TELEMETRY_WINDOW);
+    }
 
-    let mut fleet = Fleet::new(scenario.config().with_profiling());
+    let cfg = scenario.config();
+    let cfg = if args.raw { cfg } else { cfg.with_profiling() };
+    let mut fleet = Fleet::new(cfg);
     let alloc_before = AllocStats::snapshot();
     let started = std::time::Instant::now();
     let metrics = fleet.run_configured(scenario.arrivals(), scenario.sim);
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let alloc = AllocStats::snapshot().since(&alloc_before);
 
-    let profile = fleet
-        .span_profile()
-        .expect("the gated run ran with profiling armed");
-    let events = profile.calls(Span::EventPop) + profile.calls(Span::ArrivalPull);
+    // Raw mode never constructed a profiler; its report carries the
+    // engine's unconditional event counter and all-zero spans (which a
+    // raw-generated baseline then pins as all-zero, consistently).
+    let (profile, events) = if args.raw {
+        (SpanProfile::default(), fleet.events_processed())
+    } else {
+        let profile = fleet
+            .span_profile()
+            .expect("the gated run ran with profiling armed");
+        let events = profile.calls(Span::EventPop) + profile.calls(Span::ArrivalPull);
+        (profile, events)
+    };
+    let bin = if args.raw {
+        "fleet_events_perf_raw"
+    } else {
+        "fleet_events_perf"
+    };
     let report = BenchReport::new(
-        "fleet_events_perf",
+        bin,
         &scenario.label,
         "event",
         args.nodes as u64,

@@ -24,8 +24,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Version stamped into every report as `schema_version`; bump on any
 /// field change so downstream tooling can reject reports it does not
-/// understand.
-pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 1;
+/// understand. v2: the `wheel_cascade` span row joined `spans` when the
+/// event queue became a timing wheel.
+pub const BENCH_REPORT_SCHEMA_VERSION: u32 = 2;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static DEALLOCS: AtomicU64 = AtomicU64::new(0);

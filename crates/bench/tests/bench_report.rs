@@ -39,7 +39,7 @@ const ZERO_HIST: &str = "[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]";
 fn report_json_matches_the_schema_golden() {
     let expected = format!(
         r#"{{
-  "schema_version": 1,
+  "schema_version": 2,
   "bin": "fleet",
   "scenario": "golden",
   "engine": "event",
@@ -57,7 +57,8 @@ fn report_json_matches_the_schema_golden() {
     {{"span": "event_exec", "calls": 0, "wall_hist": {ZERO_HIST}}},
     {{"span": "epoch_compile", "calls": 0, "wall_hist": {ZERO_HIST}}},
     {{"span": "telemetry_fold", "calls": 0, "wall_hist": {ZERO_HIST}}},
-    {{"span": "arrival_pull", "calls": 0, "wall_hist": {ZERO_HIST}}}
+    {{"span": "arrival_pull", "calls": 0, "wall_hist": {ZERO_HIST}}},
+    {{"span": "wheel_cascade", "calls": 0, "wall_hist": {ZERO_HIST}}}
   ]
 }}
 "#
@@ -73,7 +74,7 @@ fn report_json_matches_the_schema_golden() {
 #[test]
 fn targeted_field_readers_round_trip_the_golden() {
     let json = golden_report().to_json();
-    assert_eq!(json_u64(&json, "schema_version"), Some(1));
+    assert_eq!(json_u64(&json, "schema_version"), Some(2));
     assert_eq!(json_str(&json, "bin").as_deref(), Some("fleet"));
     assert_eq!(json_str(&json, "scenario").as_deref(), Some("golden"));
     assert_eq!(json_str(&json, "engine").as_deref(), Some("event"));
@@ -131,7 +132,7 @@ fn gate_fails_hard_on_deterministic_counter_drift() {
     renamed.engine = "epoch".to_string();
     assert!(!gate_against_baseline(&renamed, &baseline, 10.0).passed());
 
-    let no_schema = baseline.replace("\"schema_version\": 1", "\"schema_version\": 999");
+    let no_schema = baseline.replace("\"schema_version\": 2", "\"schema_version\": 999");
     assert!(!gate_against_baseline(&golden_report(), &no_schema, 10.0).passed());
 }
 

@@ -137,10 +137,10 @@ impl AdmissionController {
             // An empty node admits against its physical size.
             return self.cfg.utilization_bound * f64::from(node.spec.gpu.total_sms);
         }
-        self.cfg.utilization_bound
-            * node
-                .spec
-                .capacity_sm_equivalents(&mix, self.cfg.concurrency)
+        // The cached-allocation fold: identical math to
+        // `node.spec.capacity_sm_equivalents`, no pool materialisation
+        // per admission probe.
+        self.cfg.utilization_bound * node.capacity_sm_equivalents(&mix, self.cfg.concurrency)
     }
 
     /// Optimistic single-inference latency of `candidate` on `node`: the
@@ -153,14 +153,11 @@ impl AdmissionController {
         node: &FleetNode,
         candidate: &TenantSpec,
     ) -> sgprs_rt::SimDuration {
-        let biggest = node
-            .spec
-            .pool()
-            .sm_allocations()
-            .into_iter()
-            .max()
-            .unwrap_or(0);
-        self.best_case_latency_at(biggest, node.spec.gpu.launch_overhead_ns, candidate)
+        self.best_case_latency_at(
+            node.max_context_sm(),
+            node.spec.gpu.launch_overhead_ns,
+            candidate,
+        )
     }
 
     /// [`Self::best_case_latency`] evaluated at an explicit context size

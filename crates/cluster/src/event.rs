@@ -65,11 +65,10 @@
 use crate::interner::TenantId;
 use crate::TenantSpec;
 use sgprs_rt::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 mod engine;
 mod exec;
+mod wheel;
 
 pub(crate) use engine::run_events;
 
@@ -150,37 +149,17 @@ impl SimEvent {
     }
 }
 
-/// Reverse-ordered wrapper so the max-heap pops the *earliest* event.
-#[derive(Debug)]
-struct HeapEntry(SimEvent);
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.key() == other.0.key()
-    }
-}
-
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: the smallest (time, node, seq) is the heap max.
-        other.0.key().cmp(&self.0.key())
-    }
-}
-
-/// The monotonic event queue: a binary heap over
-/// [`sgprs_rt::SimTime`] with deterministic `(time, node, seq)`
-/// tie-breaking.
+/// The monotonic event queue: a hierarchical timing wheel
+/// ([`wheel::TimingWheel`]) over [`sgprs_rt::SimTime`] with
+/// deterministic `(time, node, seq)` tie-breaking — the same total
+/// order the original binary heap implemented, at O(1) amortised
+/// push/pop for the near-sorted periodic-release workload. See the
+/// [`wheel`] module docs for the slot layout, the ordering argument,
+/// and the slot-capacity recycling that keeps the steady-state hot
+/// path allocation-free.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<HeapEntry>,
+    wheel: wheel::TimingWheel,
     next_seq: u64,
     ops: u64,
 }
@@ -198,35 +177,55 @@ impl EventQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.ops += 1;
-        self.heap.push(HeapEntry(SimEvent {
+        self.wheel.push(SimEvent {
             time,
             node,
             seq,
             kind,
-        }));
+        });
     }
 
     /// Removes and returns the earliest event under the
     /// `(time, node, seq)` order.
     pub fn pop(&mut self) -> Option<SimEvent> {
-        let popped = self.heap.pop().map(|e| e.0);
+        let popped = self.wheel.pop();
         if popped.is_some() {
             self.ops += 1;
         }
         popped
     }
 
+    /// Whether [`Self::prepare`] has wheel-turning to do (pending events,
+    /// empty active slot). O(1); the engine's merge loop checks it so the
+    /// common already-prepared iteration skips both the prepare call and
+    /// its profiling clock read.
+    pub(crate) fn needs_prepare(&self) -> bool {
+        self.wheel.needs_prepare()
+    }
+
+    /// Advances the wheel so the earliest pending event is ready to
+    /// peek/pop. Returns `true` when cascade work ran (an L1 slot
+    /// scattered into L0 or an overflow rescan) — the engine bills that
+    /// to the `wheel_cascade` profiler span. Idempotent; [`Self::pop`]
+    /// self-prepares, so calling this is only needed before
+    /// [`Self::peek_key`] or for span attribution.
+    pub(crate) fn prepare(&mut self) -> bool {
+        self.wheel.prepare()
+    }
+
     /// The `(time, node, seq)` key of the earliest pending event, without
     /// popping it — what the engine's lazy churn merge compares stream
-    /// events against.
+    /// events against. Requires a prepared wheel
+    /// ([`Self::needs_prepare`] `== false`); the engine's merge loop
+    /// always runs the `needs_prepare` → `prepare` sequence first.
     pub(crate) fn peek_key(&self) -> Option<(SimTime, usize, u64)> {
-        self.heap.peek().map(|e| e.0.key())
+        self.wheel.peek_key()
     }
 
     /// The serial the next push will receive. Captured by the engine as
     /// the *stream watermark*: churn events delivered lazily behave as if
     /// they were all enqueued at that instant, so at an equal
-    /// `(time, NODE_FLEET)` a heap event beats the stream only when its
+    /// `(time, NODE_FLEET)` a queued event beats the stream only when its
     /// seq is below the watermark (it was scheduled before the trace
     /// would have been).
     pub(crate) fn next_seq(&self) -> u64 {
@@ -234,16 +233,17 @@ impl EventQueue {
     }
 
     /// Accounts for one churn event delivered from the lazy stream
-    /// *around* the heap: it behaves exactly as a seeded push + pop
+    /// *around* the queue: it behaves exactly as a seeded push + pop
     /// (two ops), keeping `event_queue_ops` byte-identical to the
     /// materialised path.
     pub(crate) fn note_stream_event(&mut self) {
         self.ops += 2;
     }
 
-    /// Total pushes + successful pops so far — the heap-traffic figure
+    /// Total pushes + successful pops so far — the queue-traffic figure
     /// telemetry surfaces as `event_queue_ops`. A pure function of the
-    /// simulated schedule, so it is deterministic.
+    /// simulated schedule, so it is deterministic (and byte-identical to
+    /// the binary-heap implementation it replaced).
     #[must_use]
     pub fn ops(&self) -> u64 {
         self.ops
@@ -252,13 +252,13 @@ impl EventQueue {
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// `true` when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.len() == 0
     }
 }
 

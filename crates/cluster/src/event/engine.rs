@@ -55,6 +55,10 @@ struct TenantRun {
     /// When the next release event is scheduled (or `SimTime::MAX` when
     /// none is), so a migration can re-anchor the clock after its stall.
     next_release: SimTime,
+    /// [`super::exec::fnv1a`] of the tenant name, hashed once when the
+    /// run starts: the jitter input every release needs, without a
+    /// per-release interner lookup + string hash.
+    name_hash: u64,
 }
 
 /// Runs `fleet` over `arrivals` in event-driven mode until `horizon`.
@@ -85,8 +89,11 @@ pub(crate) fn run_events(
         builder,
         pre_run_queued: HashSet::new(),
         migration_pending: vec![false; n_nodes],
+        sample_cache: vec![None; n_nodes],
+        dmr_scratch: Vec::new(),
         in_flight: 0,
         next_gen: 0,
+        processed: 0,
         end: SimTime::ZERO + horizon,
     };
     engine.seed(horizon);
@@ -117,10 +124,20 @@ struct Engine<'a> {
     pre_run_queued: HashSet<TenantId>,
     /// One pending `Migrate` event per node at a time.
     migration_pending: Vec<bool>,
+    /// Per-node `(node version, (budget, demand))` for utilisation
+    /// samples: between mutations a node's sample is a constant, so
+    /// each `Sample` event recomputes only nodes whose version moved.
+    sample_cache: Vec<Option<(u64, (f64, f64))>>,
+    /// Reused buffer for the per-migration fleet DMR snapshot.
+    dmr_scratch: Vec<f64>,
     /// Jobs admitted but not yet completed — asserted zero at the end:
     /// the event path never truncates.
     in_flight: u64,
     next_gen: u64,
+    /// Events handled by the merge loop (queue pops + stream pulls) —
+    /// the run-length figure raw-mode benches read back through
+    /// [`Fleet::events_processed`] when profiling is off.
+    processed: u64,
     end: SimTime,
 }
 
@@ -140,8 +157,10 @@ impl Engine<'_> {
             return;
         }
         for idx in 0..self.fleet.nodes.len() {
-            let ids: Vec<TenantId> = self.fleet.node_ids[idx].clone();
-            for id in ids {
+            // Indexed, not cloned: `start_run` never reshapes the
+            // resident lists, so the position walk stays valid.
+            for pos in 0..self.fleet.node_ids[idx].len() {
+                let id = self.fleet.node_ids[idx][pos];
                 self.start_run(id, idx, SimTime::ZERO);
             }
         }
@@ -179,6 +198,18 @@ impl Engine<'_> {
             // on the materialised path; the stream is time-ordered, so
             // once its head crosses the horizon the whole tail has.
             let stream_t = self.arrivals.peek_time().filter(|&t| t < self.end);
+            // Turn the wheel before peeking, so cascade work is billed
+            // to its own span instead of inflating `event_pop`. The
+            // `needs_prepare` pre-check keeps the common already-prepared
+            // iteration free of the clock read and the prepare call.
+            if self.events.needs_prepare() {
+                let cascade_clock = self.fleet.telemetry.prof_clock();
+                if self.events.prepare() {
+                    self.fleet
+                        .telemetry
+                        .prof_record(Span::WheelCascade, cascade_clock);
+                }
+            }
             let heap_wins = match (self.events.peek_key(), stream_t) {
                 (Some((ht, hn, hs)), Some(st)) => {
                     // At an equal instant, node-local events precede
@@ -190,6 +221,7 @@ impl Engine<'_> {
                 (None, Some(_)) => false,
                 (None, None) => break,
             };
+            self.processed += 1;
             if heap_wins {
                 let pop_clock = self.fleet.telemetry.prof_clock();
                 let ev = self
@@ -249,6 +281,7 @@ impl Engine<'_> {
             "the event path never truncates: every admitted job ran to completion"
         );
         self.fleet.telemetry.note_event_ops(self.events.ops());
+        self.fleet.events_processed = self.processed;
         let final_tenants: Vec<usize> =
             self.fleet.nodes.iter().map(|n| n.tenants.len()).collect();
         let mut metrics =
@@ -284,6 +317,9 @@ impl Engine<'_> {
             job_seq: 0,
             in_flight: None,
             next_release: t,
+            // The one string hash of the tenant's lifetime; every
+            // release reuses it (the jitter input is exactly this).
+            name_hash: super::exec::fnv1a(self.fleet.interner.name(id)),
         });
     }
 
@@ -304,12 +340,10 @@ impl Engine<'_> {
         let (outcome, id) = self.fleet.dispatch_accounted(tenant, &mut self.builder);
         match outcome {
             DispatchOutcome::Placed(idx) => {
-                self.exec.invalidate();
                 let id = id.expect("invariant: placed arrivals are interned");
                 self.start_run(id, idx, t);
             }
             DispatchOutcome::PlacedDegraded { node, .. } => {
-                self.exec.invalidate();
                 let id = id.expect("invariant: placed arrivals are interned");
                 self.start_run(id, node, t);
             }
@@ -348,7 +382,6 @@ impl Engine<'_> {
                 *slot = None;
             }
             if was_resident {
-                self.exec.invalidate();
                 self.drain_and_upgrade(t);
             }
         }
@@ -356,8 +389,10 @@ impl Engine<'_> {
 
     fn on_release(&mut self, t: SimTime, idx: usize, id: TenantId, gen: u64) {
         debug_assert!(t < self.end, "releases are never scheduled past the horizon");
-        let (busy, job, inc) = match self.run_of(id) {
-            Some(run) if run.gen == gen => (run.in_flight.is_some(), run.job_seq, run.inc),
+        let (busy, job, inc, name_hash) = match self.run_of(id) {
+            Some(run) if run.gen == gen => {
+                (run.in_flight.is_some(), run.job_seq, run.inc, run.name_hash)
+            }
             // Departed, or a stale schedule from before a migration (or
             // from a recycled id's previous occupant).
             _ => return,
@@ -395,22 +430,17 @@ impl Engine<'_> {
                 self.windows[idx].push(t, true, span);
             }
         } else {
-            // The execution model's jitter hashes the tenant *name*, so
-            // the render-edge resolution happens here too — a borrow of
-            // the interner, not a clone.
-            let service = {
-                let name = self.fleet.interner.name(id);
-                self.exec.service_time(
-                    &self.fleet.nodes,
-                    &self.fleet.admission,
-                    idx,
-                    model,
-                    stages,
-                    fps,
-                    name,
-                    job,
-                )
-            };
+            let service = self.exec.service_time(
+                &self.fleet.nodes,
+                &self.fleet.admission,
+                &self.fleet.node_version,
+                idx,
+                model,
+                stages,
+                fps,
+                name_hash,
+                job,
+            );
             let finish = t + service;
             // The fluid service time *is* the job's response time (the
             // job is admitted at release), so it feeds the latency
@@ -540,16 +570,18 @@ impl Engine<'_> {
             return;
         };
         let (id, victim) = self.fleet.detach_resident(idx, slot);
-        let dmrs: Vec<f64> = (0..self.fleet.nodes.len())
-            .map(|j| self.windows[j].dmr(t, span))
-            .collect();
+        self.dmr_scratch.clear();
+        for j in 0..self.fleet.nodes.len() {
+            let dmr = self.windows[j].dmr(t, span);
+            self.dmr_scratch.push(dmr);
+        }
         // Same destination policy as the epoch path, fed the windowed
         // estimates instead of per-epoch DMRs.
         let dest = policy::migration_destination(
             &FleetState::new(&self.fleet.nodes, &self.fleet.admission),
             idx,
             &victim,
-            &dmrs,
+            &self.dmr_scratch,
             threshold,
         );
         match dest {
@@ -599,7 +631,6 @@ impl Engine<'_> {
                         .push(resume, j, EventKind::JobRelease { tenant: id, gen });
                 }
                 self.windows[idx].clear();
-                self.exec.invalidate();
                 // The source node freed capacity: waiters may fit now.
                 self.drain_and_upgrade(t);
             }
@@ -631,8 +662,20 @@ impl Engine<'_> {
 
     fn on_sample(&mut self, t: SimTime) {
         for idx in 0..self.fleet.nodes.len() {
-            let budget = self.fleet.admission().budget(&self.fleet.nodes[idx], None);
-            let demand = self.fleet.nodes[idx].total_demand();
+            // Budget and demand are pure functions of node state; the
+            // version check makes each sample O(changed nodes), which at
+            // fleet scale (10k nodes, epoch sampling) dominates the
+            // whole run if recomputed blindly.
+            let version = self.fleet.node_version[idx];
+            let (budget, demand) = match self.sample_cache[idx] {
+                Some((v, cached)) if v == version => cached,
+                _ => {
+                    let budget = self.fleet.admission().budget(&self.fleet.nodes[idx], None);
+                    let demand = self.fleet.nodes[idx].total_demand();
+                    self.sample_cache[idx] = Some((version, (budget, demand)));
+                    (budget, demand)
+                }
+            };
             let utilization = if budget > 0.0 { demand / budget } else { 0.0 };
             self.builder.record_utilization(idx, utilization);
             self.fleet.telemetry.record_utilization(t, utilization);
@@ -657,6 +700,5 @@ impl Engine<'_> {
                 self.start_run(adm.id, idx, t);
             }
         }
-        self.exec.invalidate();
     }
 }

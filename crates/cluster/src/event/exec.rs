@@ -22,14 +22,18 @@
 //!   misses" arises here exactly as on the epoch path (admission is
 //!   deliberately scheduler-blind about execution efficiency).
 //!
-//! Demand/capacity samples are cached per node and invalidated whenever
-//! the engine changes a node's population or prices; best-case latency
-//! is cached per `(node, model, stages, fps)`.
+//! Demand/capacity samples are cached per node and validated against
+//! the fleet's per-node version counters (bumped on every population or
+//! price change), so a mutation on node `i` recomputes only node `i`'s
+//! sample — not the whole fleet's. Best-case latency is cached per
+//! `(node, model, stages, fps)` in a per-node linear list (the distinct
+//! price points per node are few), so the release hot path does no
+//! hashing at all.
 
 use crate::{AdmissionController, FleetNode, ModelKind, NodeScheduler, TenantSpec};
 use sgprs_core::NaiveConfig;
 use sgprs_rt::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Relative half-width of the deterministic per-job jitter band.
 const JITTER_SPAN: f64 = 0.03;
@@ -41,13 +45,22 @@ struct NodeLoad {
     capacity: f64,
 }
 
+/// One distinct price point on a node: `(model, stages, fps-bits)`
+/// keying its memoised best-case latency.
+type PricePoint = ((ModelKind, usize, u64), SimDuration);
+
 /// The fluid execution model: cached per-node load and the service-time
 /// function.
 #[derive(Debug)]
 pub(crate) struct FluidExec {
     seed: u64,
-    loads: Vec<Option<NodeLoad>>,
-    best_case: HashMap<(usize, ModelKind, usize, u64), SimDuration>,
+    /// Per-node `(node version, sample)` — valid while the fleet's
+    /// version counter for the node still matches.
+    loads: Vec<Option<(u64, NodeLoad)>>,
+    /// Per-node [`PricePoint`] entries, scanned linearly: a node hosts
+    /// only a handful of distinct price points, and a short scan beats
+    /// hashing on the release hot path.
+    best_case: Vec<Vec<PricePoint>>,
 }
 
 impl FluidExec {
@@ -55,23 +68,26 @@ impl FluidExec {
         FluidExec {
             seed,
             loads: vec![None; n_nodes],
-            best_case: HashMap::new(),
+            best_case: vec![Vec::new(); n_nodes],
         }
     }
 
-    /// Drops every cached load sample (population or prices changed
-    /// somewhere; changes are rare relative to releases, so a blanket
-    /// invalidation is cheaper than tracking which nodes were touched).
-    pub(crate) fn invalidate(&mut self) {
-        for l in &mut self.loads {
-            *l = None;
-        }
-    }
-
-    /// The node's `(demand, capacity)` in SM-equivalents, sampled lazily.
-    fn load(&mut self, nodes: &[FleetNode], admission: &AdmissionController, idx: usize) -> NodeLoad {
-        if let Some(l) = self.loads[idx] {
-            return l;
+    /// The node's `(demand, capacity)` in SM-equivalents, sampled lazily
+    /// and revalidated against `versions[idx]` (the fleet bumps a node's
+    /// counter on every population/price mutation). The sample is a pure
+    /// function of node state, so a version hit returns bit-identical
+    /// values to a fresh compute.
+    fn load(
+        &mut self,
+        nodes: &[FleetNode],
+        admission: &AdmissionController,
+        versions: &[u64],
+        idx: usize,
+    ) -> NodeLoad {
+        if let Some((v, l)) = self.loads[idx] {
+            if v == versions[idx] {
+                return l;
+            }
         }
         let node = &nodes[idx];
         let l = if node.tenants.is_empty() {
@@ -88,10 +104,10 @@ impl FluidExec {
             };
             NodeLoad {
                 demand: node.total_demand() + switch_tax(node),
-                capacity: node.spec.capacity_sm_equivalents(&mix, concurrency),
+                capacity: node.capacity_sm_equivalents(&mix, concurrency),
             }
         };
-        self.loads[idx] = Some(l);
+        self.loads[idx] = Some((versions[idx], l));
         l
     }
 
@@ -100,9 +116,10 @@ impl FluidExec {
         &mut self,
         nodes: &[FleetNode],
         admission: &AdmissionController,
+        versions: &[u64],
         idx: usize,
     ) -> f64 {
-        let l = self.load(nodes, admission, idx);
+        let l = self.load(nodes, admission, versions, idx);
         if l.capacity > 0.0 {
             l.demand / l.capacity
         } else {
@@ -114,42 +131,53 @@ impl FluidExec {
     /// serving `model` in `stages` stages at `fps`:
     /// `max(best_case, period · D/C)` scaled by the deterministic jitter
     /// for `(name, job_seq)`. Takes the price-dependent fields by value
-    /// so the release hot path never clones a full [`TenantSpec`].
+    /// — and the tenant name pre-hashed (see [`fnv1a`]) — so the release
+    /// hot path neither clones a [`TenantSpec`] nor re-hashes a string.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn service_time(
         &mut self,
         nodes: &[FleetNode],
         admission: &AdmissionController,
+        versions: &[u64],
         idx: usize,
         model: ModelKind,
         stages: usize,
         fps: f64,
-        name: &str,
+        name_hash: u64,
         job_seq: u64,
     ) -> SimDuration {
-        let rho = self.load_ratio(nodes, admission, idx);
-        let bcl = *self
-            .best_case
-            .entry((idx, model, stages, fps.to_bits()))
-            .or_insert_with(|| {
+        let rho = self.load_ratio(nodes, admission, versions, idx);
+        let key = (model, stages, fps.to_bits());
+        let cached = self.best_case[idx]
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, bcl)| bcl);
+        let bcl = match cached {
+            Some(bcl) => bcl,
+            None => {
                 // Only a cache miss pays for the probe spec (the name is
                 // irrelevant to the latency bound).
                 let probe = TenantSpec::new("bcl-probe", model, fps).with_stages(stages);
-                admission.best_case_latency(&nodes[idx], &probe)
-            });
+                let bcl = admission.best_case_latency(&nodes[idx], &probe);
+                self.best_case[idx].push((key, bcl));
+                bcl
+            }
+        };
         let period = SimDuration::from_secs_f64(1.0 / fps);
         let base = bcl.max(period.mul_f64(rho));
-        base.mul_f64(self.jitter(idx, name, job_seq))
+        base.mul_f64(self.jitter(idx, name_hash, job_seq))
     }
 
     /// Deterministic multiplicative jitter in `[1 - J, 1 + J]`, a pure
-    /// function of `(fleet seed, node, tenant, job serial)` — execution
-    /// strategy can never change it.
-    fn jitter(&self, node: usize, tenant: &str, job_seq: u64) -> f64 {
+    /// function of `(fleet seed, node, tenant-name hash, job serial)` —
+    /// execution strategy can never change it. Callers pass
+    /// [`fnv1a`]`(name)`; the engine caches that hash per tenant run, so
+    /// the value is byte-identical to hashing the name in place.
+    fn jitter(&self, node: usize, name_hash: u64, job_seq: u64) -> f64 {
         let mut x = self
             .seed
             .wrapping_add((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .wrapping_add(fnv1a(tenant))
+            .wrapping_add(name_hash)
             .wrapping_add(job_seq.wrapping_mul(0xBF58_476D_1CE4_E5B9));
         // splitmix64 finalizer.
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -162,7 +190,9 @@ impl FluidExec {
 
 /// FNV-1a over the tenant name: a stable, dependency-free string hash
 /// (the std hasher is seeded per process and would break determinism).
-fn fnv1a(s: &str) -> u64 {
+/// The engine hashes each name once when a tenant run starts and feeds
+/// the cached value to [`FluidExec::service_time`] on every release.
+pub(super) fn fnv1a(s: &str) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for b in s.as_bytes() {
         h ^= u64::from(*b);
@@ -274,11 +304,21 @@ mod tests {
         }
         let nodes = vec![node];
         let mut exec = FluidExec::new(1, 7);
-        let rho = exec.load_ratio(&nodes, &admission, 0);
+        let rho = exec.load_ratio(&nodes, &admission, &[0], 0);
         assert!(rho > 0.5 && rho < 1.0, "bound-respecting load: {rho}");
         for job in 0..64 {
             let t = tenant(0);
-            let s = exec.service_time(&nodes, &admission, 0, t.model, t.stages, t.fps, &t.name, job);
+            let s = exec.service_time(
+                &nodes,
+                &admission,
+                &[0],
+                0,
+                t.model,
+                t.stages,
+                t.fps,
+                fnv1a(&t.name),
+                job,
+            );
             assert!(
                 s <= t.period(),
                 "job {job} took {s} > period {} at rho {rho}",
@@ -296,10 +336,20 @@ mod tests {
         let admission = AdmissionController::default();
         let nodes = vec![node];
         let mut exec = FluidExec::new(1, 7);
-        let rho = exec.load_ratio(&nodes, &admission, 0);
+        let rho = exec.load_ratio(&nodes, &admission, &[0], 0);
         assert!(rho > 1.0, "12 tenants on 16 SMs must overload: {rho}");
         let t = tenant(0);
-        let s = exec.service_time(&nodes, &admission, 0, t.model, t.stages, t.fps, &t.name, 0);
+        let s = exec.service_time(
+            &nodes,
+            &admission,
+            &[0],
+            0,
+            t.model,
+            t.stages,
+            t.fps,
+            fnv1a(&t.name),
+            0,
+        );
         assert!(s > t.period(), "{s} vs {}", t.period());
     }
 
@@ -320,7 +370,7 @@ mod tests {
         assert!(n >= 8, "the budget admits a crowd: {n}");
         let nodes = vec![node];
         let mut exec = FluidExec::new(1, 7);
-        let rho = exec.load_ratio(&nodes, &admission, 0);
+        let rho = exec.load_ratio(&nodes, &admission, &[0], 0);
         assert!(
             rho > 1.0,
             "sequential execution + switch tax must exceed capacity: {rho}"
@@ -328,17 +378,39 @@ mod tests {
     }
 
     #[test]
+    fn load_cache_revalidates_on_version_bump() {
+        let mut node = FleetNode::new(NodeSpec::sgprs("g", GpuSpec::rtx_2080_ti()));
+        node.tenants.push(tenant(0));
+        let admission = AdmissionController::default();
+        let mut nodes = vec![node];
+        let mut exec = FluidExec::new(1, 7);
+        let before = exec.load_ratio(&nodes, &admission, &[0], 0);
+        nodes[0].tenants.push(tenant(1));
+        assert_eq!(
+            exec.load_ratio(&nodes, &admission, &[0], 0),
+            before,
+            "an unbumped version serves the cached sample"
+        );
+        let after = exec.load_ratio(&nodes, &admission, &[1], 0);
+        assert!(
+            after > before,
+            "the bumped version recomputes: {after} vs {before}"
+        );
+    }
+
+    #[test]
     fn jitter_is_deterministic_and_tightly_banded() {
         let exec = FluidExec::new(3, 0x5672_5053);
         let again = FluidExec::new(3, 0x5672_5053);
+        let h = fnv1a("cam-0");
         for job in 0..100 {
-            let j = exec.jitter(1, "cam-0", job);
-            assert_eq!(j, again.jitter(1, "cam-0", job));
+            let j = exec.jitter(1, h, job);
+            assert_eq!(j, again.jitter(1, h, job));
             assert!((1.0 - JITTER_SPAN..=1.0 + JITTER_SPAN).contains(&j), "{j}");
         }
         assert_ne!(
-            exec.jitter(1, "cam-0", 0),
-            exec.jitter(1, "cam-0", 1),
+            exec.jitter(1, h, 0),
+            exec.jitter(1, h, 1),
             "jitter varies per job"
         );
     }

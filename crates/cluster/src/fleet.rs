@@ -170,6 +170,19 @@ pub struct Fleet {
     /// Per-node resident ids, parallel to each node's `tenants` Vec, so
     /// slot resolution is an integer scan instead of a string compare.
     pub(crate) node_ids: Vec<Vec<TenantId>>,
+    /// Per-node mutation counter, bumped whenever a node's resident
+    /// population or prices change (attach/detach/restore/remove/
+    /// upgrade). Pure-function-of-node-state caches (the event engine's
+    /// fluid load and utilisation samples) revalidate against it, which
+    /// replaces blanket whole-fleet invalidation with O(changed nodes)
+    /// recomputation — bit-identical values, since an unchanged version
+    /// pins unchanged inputs.
+    pub(crate) node_version: Vec<u64>,
+    /// Events handled by the last `run_events` merge loop — the
+    /// run-length figure perf benches read when profiling is off (the
+    /// profiler's `event_pop`/`arrival_pull` calls measure the same
+    /// thing, at the price of clock reads the raw mode exists to avoid).
+    pub(crate) events_processed: u64,
     /// The dispatcher's clock: advanced by `run`/`run_events`, stamps
     /// queue entries so waits and queue deadlines are measurable.
     pub(crate) now: SimTime,
@@ -213,6 +226,7 @@ impl Fleet {
         let queue = DispatchQueue::new(cfg.queue.policy);
         let telemetry = Telemetry::new(cfg.telemetry.clone());
         let node_ids = vec![Vec::new(); nodes.len()];
+        let node_version = vec![0; nodes.len()];
         Fleet {
             cfg,
             nodes,
@@ -224,6 +238,8 @@ impl Fleet {
             compiled: HashMap::new(),
             resident_node: Vec::new(),
             node_ids,
+            node_version,
+            events_processed: 0,
             now: SimTime::ZERO,
             capacity_released: true,
             drain_scans: 0,
@@ -374,6 +390,7 @@ impl Fleet {
         self.node_ids[idx].push(id);
         self.nodes[idx].tenants.push(tenant);
         self.resident_node[id.index()] = Some(idx);
+        self.node_version[idx] += 1;
     }
 
     /// Removes the resident at `slot` on node `idx`, returning its id
@@ -382,6 +399,7 @@ impl Fleet {
         let id = self.node_ids[idx].remove(slot);
         let spec = self.nodes[idx].tenants.remove(slot);
         self.resident_node[id.index()] = None;
+        self.node_version[idx] += 1;
         (id, spec)
     }
 
@@ -397,6 +415,7 @@ impl Fleet {
         self.node_ids[idx].insert(slot, id);
         self.nodes[idx].tenants.insert(slot, tenant);
         self.resident_node[id.index()] = Some(idx);
+        self.node_version[idx] += 1;
     }
 
     /// Offers `tenant` to the placement policy: on success the tenant
@@ -496,6 +515,7 @@ impl Fleet {
         if let Some((idx, pos)) = self.locate_id(id) {
             self.nodes[idx].tenants.remove(pos);
             self.node_ids[idx].remove(pos);
+            self.node_version[idx] += 1;
             self.release(id);
             // A departure frees node capacity: the next drain pass must
             // actually scan the queue again.
@@ -799,6 +819,9 @@ impl Fleet {
                     // `node_ids` is untouched for the same reason.
                     self.nodes[idx].tenants.insert(pos, priced);
                     upgrades += 1;
+                    // A price change moves the node's demand: caches
+                    // keyed on the node version must resample.
+                    self.node_version[idx] += 1;
                     self.planner.invalidate_node(idx);
                     self.telemetry.record_upgrade(self.now, &name, fps);
                 }
@@ -856,6 +879,17 @@ impl Fleet {
     #[must_use]
     pub fn span_profile(&self) -> Option<SpanProfile> {
         self.telemetry.span_profile().cloned()
+    }
+
+    /// Events handled by the last [`Self::run_events`] merge loop
+    /// (queue pops + stream pulls). Deterministic — a pure function of
+    /// `(config, trace, horizon)` — and maintained unconditionally, so
+    /// raw-mode perf benches get an events/sec denominator without
+    /// arming the profiler (whose per-event clock reads are exactly the
+    /// overhead such runs exist to exclude).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Cache key of one resident's compiled task on node `node_idx`.

@@ -50,7 +50,15 @@
 //!   is truncated; departures apply at exact instants and DMR-triggered
 //!   migration fires at job-release boundaries, paying the
 //!   [`MigrationConfig::cost`] state-transfer stall that re-pricing
-//!   partition switches never pay.
+//!   partition switches never pay. The queue is a two-level
+//!   hierarchical timing wheel (`event::wheel`) — O(1) amortised
+//!   push/pop for the near-sorted periodic-release workload, slot
+//!   capacity recycled so the steady-state hot path allocates nothing,
+//!   pop order byte-identical to the binary heap it replaced (pinned
+//!   by a heap-oracle equivalence proptest); the execution model keeps
+//!   per-node fluid-capacity and best-case caches valid across events
+//!   via per-node version counters bumped only on resident/price
+//!   mutations.
 //! * [`QueuePolicy`] / [`QueueConfig`] — the wait queue's retry order
 //!   (FIFO, priority-weight, earliest queue deadline, weighted-fair
 //!   with aging so heavy streams cannot starve light waiters) and the

@@ -147,16 +147,62 @@ pub struct FleetNode {
     pub spec: NodeSpec,
     /// Tenants resident on this node, in placement order.
     pub tenants: Vec<TenantSpec>,
+    /// The pool's per-context SM allocations, computed once here: the
+    /// spec is immutable after construction, and materialising the pool
+    /// on demand allocates (name strings + the allocation Vec) on paths
+    /// admission probes per candidate.
+    sm_allocs: Vec<u32>,
+    /// `max(sm_allocs)` — the biggest context, the capacity side of
+    /// every best-case-latency gate.
+    max_context_sm: u32,
 }
 
 impl FleetNode {
     /// A node with no tenants.
     #[must_use]
     pub fn new(spec: NodeSpec) -> Self {
+        let sm_allocs = spec.pool().sm_allocations();
+        let max_context_sm = sm_allocs.iter().copied().max().unwrap_or(0);
         FleetNode {
             spec,
             tenants: Vec::new(),
+            sm_allocs,
+            max_context_sm,
         }
+    }
+
+    /// The pool's per-context SM allocations (cached at construction;
+    /// identical to `spec.pool().sm_allocations()`).
+    #[must_use]
+    pub fn sm_allocs(&self) -> &[u32] {
+        &self.sm_allocs
+    }
+
+    /// SMs of the biggest context (cached at construction).
+    #[must_use]
+    pub fn max_context_sm(&self) -> u32 {
+        self.max_context_sm
+    }
+
+    /// [`NodeSpec::capacity_sm_equivalents`] over the cached
+    /// allocations: the identical fold in the identical order, without
+    /// materialising the pool per call.
+    #[must_use]
+    pub fn capacity_sm_equivalents(
+        &self,
+        profile: &sgprs_gpu_sim::WorkProfile,
+        concurrency: f64,
+    ) -> f64 {
+        let speedup = SpeedupModel::calibrated_rtx_2080_ti();
+        let demand: f64 = self
+            .sm_allocs
+            .iter()
+            .map(|&sm| {
+                let m_eff = f64::from(sm) / concurrency;
+                concurrency * profile.effective_speedup(&speedup, m_eff)
+            })
+            .sum();
+        demand.min(f64::from(self.spec.gpu.total_sms))
     }
 
     /// Total steady-state demand of the resident tenants, in
@@ -235,6 +281,28 @@ mod tests {
             let tasks = vec![tenant.compile_for(&node.pool()); 2];
             let m = node.run_epoch(tasks, SimDuration::from_secs(1), 7);
             assert!(m.total_fps > 0.0, "{scheduler:?}: {m:?}");
+        }
+    }
+
+    #[test]
+    fn cached_pool_statics_match_the_spec_recompute() {
+        // The determinism stake: the cached fold must be *bit*-identical
+        // to the on-demand pool math it replaced on the admission path.
+        let profile = ModelKind::ResNet18
+            .network()
+            .work_profile(&sgprs_dnn::CostModel::calibrated());
+        for sms in [16u32, 34, 68] {
+            let spec = NodeSpec::sgprs("g", GpuSpec::synthetic(sms));
+            let node = FleetNode::new(spec.clone());
+            assert_eq!(node.sm_allocs(), spec.pool().sm_allocations().as_slice());
+            assert_eq!(
+                Some(node.max_context_sm()),
+                spec.pool().sm_allocations().into_iter().max()
+            );
+            assert_eq!(
+                node.capacity_sm_equivalents(&profile, 4.0),
+                spec.capacity_sm_equivalents(&profile, 4.0)
+            );
         }
     }
 

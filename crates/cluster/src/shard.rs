@@ -192,14 +192,7 @@ impl ShardDirectory {
             for node in &nodes[self.range(shard)] {
                 spare_budget +=
                     (admission.budget(node, None) - node.total_demand()).max(0.0);
-                let biggest = node
-                    .spec
-                    .pool()
-                    .sm_allocations()
-                    .into_iter()
-                    .max()
-                    .unwrap_or(0);
-                max_context_sm = max_context_sm.max(biggest);
+                max_context_sm = max_context_sm.max(node.max_context_sm());
                 min_launch_overhead_ns =
                     min_launch_overhead_ns.min(node.spec.gpu.launch_overhead_ns);
             }

@@ -3,9 +3,9 @@
 //! Where the rest of [`crate::telemetry`] measures the simulated fleet,
 //! this module measures the simulator's own hot paths: a fixed set of
 //! [`Span`]s (placement planning, queue drains, event-queue pops, event
-//! execution, epoch task compilation, the telemetry fold, and stream
-//! pulls), each accumulating a call count and a log2-bucket wall-clock
-//! latency histogram.
+//! execution, epoch task compilation, the telemetry fold, stream pulls,
+//! and timing-wheel cascades), each accumulating a call count and a
+//! log2-bucket wall-clock latency histogram.
 //!
 //! Two properties keep it inside the determinism contract
 //! (DETERMINISM.md, "wall-clock surfaces"):
@@ -30,7 +30,7 @@
 pub const PLAN_LATENCY_BINS: usize = 16;
 
 /// Number of profiled [`Span`]s.
-pub const SPAN_COUNT: usize = 7;
+pub const SPAN_COUNT: usize = 8;
 
 /// The fixed set of profiled simulator hot paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,6 +55,12 @@ pub enum Span {
     /// One arrival/departure consumed from the (possibly
     /// generator-backed, interner-fed) arrival stream.
     ArrivalPull = 6,
+    /// One timing-wheel cascade in the event queue: an L1 slot
+    /// scattered into L0, an overflow rescan, or a far-future
+    /// fast-forward (event engine). The amortised cost the wheel trades
+    /// the heap's per-op log n for — watching it stay rare *is* the
+    /// O(1)-amortised claim.
+    WheelCascade = 7,
 }
 
 impl Span {
@@ -67,6 +73,7 @@ impl Span {
         Span::EpochCompile,
         Span::TelemetryFold,
         Span::ArrivalPull,
+        Span::WheelCascade,
     ];
 
     /// The span's stable lower-snake label (bench reports key on it).
@@ -80,6 +87,7 @@ impl Span {
             Span::EpochCompile => "epoch_compile",
             Span::TelemetryFold => "telemetry_fold",
             Span::ArrivalPull => "arrival_pull",
+            Span::WheelCascade => "wheel_cascade",
         }
     }
 
@@ -216,7 +224,8 @@ mod tests {
                 "event_exec",
                 "epoch_compile",
                 "telemetry_fold",
-                "arrival_pull"
+                "arrival_pull",
+                "wheel_cascade"
             ]
         );
         for (i, s) in Span::ALL.iter().enumerate() {

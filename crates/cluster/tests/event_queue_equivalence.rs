@@ -1,0 +1,131 @@
+//! Equivalence property: the timing-wheel [`EventQueue`] pops the exact
+//! `(time, node, seq)` sequence a reference binary heap pops, over
+//! random push/pop interleavings — including same-instant floods (many
+//! events at one instant across nodes) and far-future overflow events
+//! (hours past the wheel's L1 span), and pushes at instants at or
+//! before the last pop (the clamp path same-instant follow-up events
+//! take in the engine).
+//!
+//! This is the PR-boundary proof that swapping the queue's internals
+//! cannot move a single event: the heap *is* the previous
+//! implementation, reconstructed here as the oracle.
+
+use proptest::prelude::*;
+use sgprs_cluster::event::{EventKind, EventQueue, NODE_FLEET};
+use sgprs_rt::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The reference implementation: exactly the binary heap the wheel
+/// replaced — a min-heap over `(time, node, seq)` with a monotone
+/// enqueue serial.
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    next_seq: u64,
+}
+
+impl HeapQueue {
+    fn push(&mut self, nanos: u64, node: usize) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((nanos, node, seq)));
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize, u64)> {
+        self.heap.pop().map(|Reverse(k)| k)
+    }
+}
+
+/// Decodes one fuzzed op against the queue pair. `time_raw`/`node_tag`
+/// are interpreted per regime so every structural path gets traffic:
+/// the active slot, later L0 slots, the L1 ring, the overflow list,
+/// same-instant floods, and sub-cursor clamps.
+fn event_time(regime: u8, time_raw: u64, last_pop: u64) -> u64 {
+    match regime % 6 {
+        // Dense hot window: within ~33 ms of the origin (L0 direct).
+        0 => time_raw % 33_000_000,
+        // Mid range: within ~8 s (the L1 ring).
+        1 => time_raw % 8_000_000_000,
+        // Far future: up to ~12 h (overflow + fast-forward).
+        2 => time_raw % 43_200_000_000_000,
+        // Same-instant flood: one of four fixed instants.
+        3 => 5_000_000 * (time_raw % 4),
+        // At the last popped instant (engine follow-ups: Migrate,
+        // completions scheduled at "now").
+        4 => last_pop,
+        // At or before the last popped instant: the clamp path.
+        _ => last_pop.saturating_sub(time_raw % 1_000_000),
+    }
+}
+
+fn event_node(tag: u8) -> usize {
+    match tag % 5 {
+        4 => NODE_FLEET,
+        t => t as usize,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Over any interleaving of pushes and pops, both queues emit the
+    /// identical `(time, node, seq)` pop sequence, and drain to the
+    /// identical tail.
+    #[test]
+    fn wheel_pops_exactly_what_the_reference_heap_pops(
+        ops in prop::collection::vec((0u8..8, any::<u64>(), 0u8..8), 1..300),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::default();
+        let mut last_pop = 0u64;
+        for &(op, time_raw, node_tag) in &ops {
+            if op < 6 {
+                let nanos = event_time(op, time_raw, last_pop);
+                let node = event_node(node_tag);
+                wheel.push(SimTime::from_nanos(nanos), node, EventKind::Sample);
+                heap.push(nanos, node);
+            } else {
+                let got = wheel.pop().map(|e| (e.time.as_nanos(), e.node, e.seq));
+                let want = heap.pop();
+                prop_assert_eq!(got, want, "mid-run pop diverged");
+                if let Some((t, _, _)) = want {
+                    last_pop = t;
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.heap.len());
+        }
+        // Drain both: the tails must match to the last event.
+        loop {
+            let got = wheel.pop().map(|e| (e.time.as_nanos(), e.node, e.seq));
+            let want = heap.pop();
+            prop_assert_eq!(got, want, "drain pop diverged");
+            if want.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// A pure same-instant flood across nodes pops grouped by node then
+    /// enqueue order, regardless of push order — the documented
+    /// `(time, node, seq)` contract at one instant.
+    #[test]
+    fn same_instant_floods_group_by_node_then_seq(
+        nodes in prop::collection::vec(0u8..8, 2..64),
+        nanos in 0u64..10_000_000_000,
+    ) {
+        let mut wheel = EventQueue::new();
+        for &tag in &nodes {
+            wheel.push(SimTime::from_nanos(nanos), event_node(tag), EventKind::Sample);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = wheel.pop() {
+            prop_assert_eq!(e.time.as_nanos(), nanos);
+            popped.push((e.node, e.seq));
+        }
+        let mut expect = popped.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(popped, expect, "flood must pop in (node, seq) order");
+    }
+}

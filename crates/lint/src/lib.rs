@@ -163,6 +163,7 @@ impl Config {
                 "crates/cluster/src/event.rs",
                 "crates/cluster/src/event/engine.rs",
                 "crates/cluster/src/event/exec.rs",
+                "crates/cluster/src/event/wheel.rs",
                 "crates/cluster/src/stream.rs",
                 "crates/cluster/src/interner.rs",
             ]),

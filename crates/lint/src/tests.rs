@@ -50,6 +50,16 @@ fn d001_fires_on_hash_iteration_and_respects_keyed_access() {
 }
 
 #[test]
+fn d001_guards_the_timing_wheel_module() {
+    // The wheel is the event queue's ordering core: HashMap iteration
+    // there would randomise pop order run-to-run. Pin that the
+    // deterministic-module prefix covers it and H001 binds too.
+    assert_fires("d001", "crates/cluster/src/event/wheel.rs", "D001", 3);
+    assert_silent("d001", "crates/cluster/src/event/wheel.rs");
+    assert_fires("h001", "crates/cluster/src/event/wheel.rs", "H001", 2);
+}
+
+#[test]
 fn d001_is_scoped_to_deterministic_modules() {
     let diags = scan_fixture("d001", "bad", "crates/workload/src/fleet.rs");
     assert!(
